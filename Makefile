@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments tools clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Reduced-scale regeneration of every table/figure plus ablations and
+# microbenchmarks (minutes). Full-scale runs: see `experiments`.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-scale experiment suite (tens of minutes single-core); writes the
+# tables EXPERIMENTS.md is based on to stdout.
+experiments: tools
+	./bin/adts-sweep -all -quanta 64 -intervals 3
+
+tools:
+	mkdir -p bin
+	$(GO) build -o bin/ ./cmd/...
+
+clean:
+	rm -rf bin

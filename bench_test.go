@@ -1,0 +1,410 @@
+package repro
+
+// The benchmark suite regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index) plus the
+// ablations of DESIGN.md §5 and microbenchmarks of the substrates.
+//
+// Experiment benchmarks report their scientific result as custom
+// metrics (IPC, switches/run, benign-probability, gain%) alongside the
+// usual ns/op, so `go test -bench .` both exercises and regenerates the
+// results at reduced scale. cmd/adts-sweep runs the full-scale versions.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// benchOpts are reduced-scale options so the whole suite completes in
+// minutes; EXPERIMENTS.md records the full-scale runs.
+func benchOpts() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Mixes = []string{"int-compute", "mixed-lowipc", "kitchen-sink"}
+	o.Quanta = 16
+	o.Intervals = 2
+	return o
+}
+
+// ---------------------------------------------------------------------
+// Table 1: the ten fetch policies, run fixed.
+
+func BenchmarkTable1FixedPolicies(b *testing.B) {
+	for _, p := range policy.All() {
+		b.Run(p.String(), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				o := benchOpts()
+				res, err := experiments.RunTable1Policy(o, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = res
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figures 7 and 8: the threshold x heuristic grid. One sub-benchmark
+// per (heuristic, threshold) cell; switches and benign-probability are
+// Figure 7's y-axes, IPC is Figure 8's.
+
+func BenchmarkFig7Fig8Grid(b *testing.B) {
+	for _, h := range detector.AllHeuristics() {
+		for _, m := range []float64{1, 2, 3} {
+			b.Run(fmt.Sprintf("%s/m=%g", h, m), func(b *testing.B) {
+				var cell experiments.Cell
+				var base float64
+				for i := 0; i < b.N; i++ {
+					s, err := experiments.RunSweep(benchOpts(), []float64{m}, []detector.Heuristic{h})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cell = s.Cells[0][0]
+					base = s.BaselineIPC
+				}
+				b.ReportMetric(cell.IPC, "IPC")
+				b.ReportMetric(cell.Switches, "switches/run")
+				b.ReportMetric(cell.BenignP, "P(benign)")
+				b.ReportMetric(100*(cell.IPC/base-1), "gain%")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// §1/§7: the oracle-scheduled upper bound over fixed ICOUNT.
+
+func BenchmarkOracleHeadroom(b *testing.B) {
+	var head float64
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		res, err := experiments.RunOracle(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		head = res.Headroom()
+	}
+	b.ReportMetric(100*head, "headroom%")
+}
+
+// ---------------------------------------------------------------------
+// §7: thread-count saturation, fixed vs adaptive.
+
+func BenchmarkSaturation(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
+			var fixed, adaptive float64
+			for i := 0; i < b.N; i++ {
+				o := benchOpts()
+				res, err := experiments.RunSaturation(o, []int{n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fixed, adaptive = res.FixedIPC[0], res.AdaptiveIPC[0]
+			}
+			b.ReportMetric(fixed, "fixedIPC")
+			b.ReportMetric(adaptive, "adtsIPC")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// §4.3.2: condition-threshold calibration methodology.
+
+func BenchmarkCalibration(b *testing.B) {
+	var cal *experiments.Calibration
+	for i := 0; i < b.N; i++ {
+		var err error
+		cal, err = experiments.RunCalibration(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cal.L1MissRate, "L1miss/cyc")
+	b.ReportMetric(cal.MispredRate, "misp/cyc")
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+
+// BenchmarkAblationWrongPath compares throughput with and without
+// wrong-path injection: disabling it idealises the front end and
+// overstates throughput, which is why the model injects wrong paths.
+func BenchmarkAblationWrongPath(b *testing.B) {
+	for _, wp := range []bool{true, false} {
+		b.Run(fmt.Sprintf("wrongpath=%t", wp), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig("int-branchy")
+				cfg.Quanta = 16
+				cfg.Machine.WrongPath = wp
+				sim, err := core.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = sim.Run().AggregateIPC
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkAblationFetchRule compares ICOUNT.2.8's cache-block-boundary
+// rule with unrestricted 8-from-one-thread fetch (the fetch-fragmentation
+// observation of Burns & Gaudiot the paper cites in §5).
+func BenchmarkAblationFetchRule(b *testing.B) {
+	for _, block := range []int{8, 1 << 20} {
+		name := "block-boundary"
+		if block > 8 {
+			name = "fetch-8-unrestricted"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig("kitchen-sink")
+				cfg.Quanta = 16
+				cfg.Machine.FetchBlock = block
+				sim, err := core.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = sim.Run().AggregateIPC
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkAblationPhases removes the workloads' phase behaviour
+// (profiles flattened to their average mix). Phase variation is the
+// signal the detector reacts to; flattening isolates the *stationary*
+// component of each policy's effect — including L1MISSCOUNT's
+// winner-takes-all feedback (a cache-resident thread never misses,
+// keeps top priority, and monopolises the machine), which this
+// ablation makes starkly visible in the fixed-vs-ADTS gap.
+func BenchmarkAblationPhases(b *testing.B) {
+	for _, flat := range []bool{false, true} {
+		name := "phased"
+		if flat {
+			name = "flattened"
+		}
+		b.Run(name, func(b *testing.B) {
+			var fixedIPC, adtsIPC float64
+			for i := 0; i < b.N; i++ {
+				mix, _ := trace.MixByName("mixed-lowipc")
+				run := func(mode core.Mode) float64 {
+					var progs []*trace.Program
+					var err error
+					if flat {
+						progs, err = mix.FlattenedPrograms(8, 1)
+					} else {
+						progs, err = mix.Programs(8, 1)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := core.DefaultConfig(mix.Name)
+					cfg.Programs = progs
+					cfg.Quanta = 16
+					cfg.Mode = mode
+					sim, err := core.NewSimulator(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return sim.Run().AggregateIPC
+				}
+				fixedIPC = run(core.ModeFixed)
+				adtsIPC = run(core.ModeADTS)
+			}
+			b.ReportMetric(fixedIPC, "fixedIPC")
+			b.ReportMetric(adtsIPC, "adtsIPC")
+			b.ReportMetric(100*(adtsIPC/fixedIPC-1), "gain%")
+		})
+	}
+}
+
+// BenchmarkAblationPredictor swaps the direction predictor: worse
+// prediction means more wrong-path traffic, which is the regime
+// BRCOUNT-style policies target.
+func BenchmarkAblationPredictor(b *testing.B) {
+	for _, kind := range []branch.Kind{branch.KindHybrid, branch.KindGShare,
+		branch.KindLocal, branch.KindBimodal, branch.KindTaken} {
+		b.Run(string(kind), func(b *testing.B) {
+			var ipc, wrong float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig("int-branchy")
+				cfg.Quanta = 16
+				cfg.Machine.PredictorKind = kind
+				sim, err := core.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := sim.Run()
+				ipc = res.AggregateIPC
+				wrong = res.WrongPathFrac
+			}
+			b.ReportMetric(ipc, "IPC")
+			b.ReportMetric(100*wrong, "wrongPath%")
+		})
+	}
+}
+
+// BenchmarkJobScheduler compares the job-scheduling policies of §3/§7.
+func BenchmarkJobScheduler(b *testing.B) {
+	var res *experiments.JobschedResult
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Intervals = 1
+		var err error
+		res, err = experiments.RunJobsched(o, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, p := range res.Policies {
+		b.ReportMetric(res.IPC[i], p.String()+"-IPC")
+	}
+}
+
+// BenchmarkAblationMSHR sweeps the miss-status-register pool: limited
+// memory-level parallelism throttles memory-bound mixes and shifts the
+// balance between fetch policies.
+func BenchmarkAblationMSHR(b *testing.B) {
+	for _, mshrs := range []int{0, 4, 8, 16} {
+		name := fmt.Sprintf("mshrs=%d", mshrs)
+		if mshrs == 0 {
+			name = "mshrs=unlimited"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig("mixed-lowipc")
+				cfg.Quanta = 16
+				cfg.Machine.MSHRs = mshrs
+				sim, err := core.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = sim.Run().AggregateIPC
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkAblationDetectorCost compares ADTS with the modelled
+// detector-thread cost (switches wait for leftover-slot execution)
+// against free, instantaneous switching — bounding what the DT cost
+// model itself costs.
+func BenchmarkAblationDetectorCost(b *testing.B) {
+	for _, work := range []int{1, 1024, 16384} {
+		b.Run(fmt.Sprintf("decideWork=%d", work), func(b *testing.B) {
+			var ipc float64
+			var late uint64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig("mixed-lowipc")
+				cfg.Quanta = 16
+				cfg.Mode = core.ModeADTS
+				cfg.Machine.DTDecideWork = work
+				sim, err := core.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim.Detector().SetWorkModel(256, 512, work)
+				res := sim.Run()
+				ipc = res.AggregateIPC
+				late = res.DT.JobsPreempted
+			}
+			b.ReportMetric(ipc, "IPC")
+			b.ReportMetric(float64(late), "jobsPreempted")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Substrate microbenchmarks.
+
+func BenchmarkPipelineCycles(b *testing.B) {
+	mix, _ := trace.MixByName("kitchen-sink")
+	progs, err := mix.Programs(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := pipeline.New(pipeline.DefaultConfig(), progs, 1)
+	m.Run(8192) // warm
+	b.ResetTimer()
+	m.Run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(m.AggregateIPC(), "simIPC")
+}
+
+func BenchmarkMachineClone(b *testing.B) {
+	mix, _ := trace.MixByName("kitchen-sink")
+	progs, _ := mix.Programs(8, 1)
+	m := pipeline.New(pipeline.DefaultConfig(), progs, 1)
+	m.Run(16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Clone()
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	prof, _ := trace.ProfileByName("gcc")
+	p := trace.NewProgram(prof, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Next()
+	}
+}
+
+func BenchmarkPredictor(b *testing.B) {
+	h := branch.NewHybrid(4096, 8192, 4096, 12, 8)
+	prof, _ := trace.ProfileByName("gcc")
+	p := trace.NewProgram(prof, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := p.Next()
+		if in.Class.IsCtrl() {
+			h.Predict(0, in.PC)
+			h.Update(0, in.PC, in.Taken)
+		}
+	}
+}
+
+func BenchmarkCacheHierarchy(b *testing.B) {
+	hier := cache.NewHierarchy(cache.DefaultHierarchyConfig(), 8)
+	prof, _ := trace.ProfileByName("mcf")
+	p := trace.NewProgram(prof, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := p.Next()
+		if in.Class.IsMem() {
+			hier.L1D.Access(0, in.Addr, false)
+		}
+	}
+}
+
+func BenchmarkSelectorOrder(b *testing.B) {
+	mix, _ := trace.MixByName("kitchen-sink")
+	progs, _ := mix.Programs(8, 1)
+	m := pipeline.New(pipeline.DefaultConfig(), progs, 1)
+	m.Run(4096)
+	sel := policy.NewSelector(policy.ICOUNT, 8)
+	buf := make([]int, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Order(m.States(), buf)
+		sel.Advance()
+	}
+}

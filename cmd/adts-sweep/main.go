@@ -1,0 +1,154 @@
+// Command adts-sweep regenerates the paper's evaluation: the Table 1
+// fixed-policy comparison, the Figure 7 switch-count/switch-quality
+// grids, the Figure 8 throughput grids, the §6 headline, the oracle
+// upper bound, the homogeneous-vs-diverse comparison, the thread-count
+// saturation experiment, and the §4.3.2 condition-threshold calibration.
+//
+// Usage:
+//
+//	adts-sweep -all
+//	adts-sweep -fig7 -fig8 -quanta 64 -intervals 3
+//	adts-sweep -table1 -mixes kitchen-sink,int-memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/detector"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		all        = flag.Bool("all", false, "run every experiment")
+		fig7       = flag.Bool("fig7", false, "Figure 7: switch counts and benign-switch probability")
+		fig8       = flag.Bool("fig8", false, "Figure 8: throughput vs threshold and heuristic")
+		table1     = flag.Bool("table1", false, "Table 1: fixed-policy comparison")
+		oracleF    = flag.Bool("oracle", false, "oracle-scheduled upper bound")
+		saturation = flag.Bool("saturation", false, "thread-count scaling, fixed vs adaptive")
+		calibrate  = flag.Bool("calibrate", false, "condition-threshold calibration (§4.3.2)")
+		jobschedF  = flag.Bool("jobsched", false, "job-scheduler interplay: oblivious vs DT-assisted (§3/§7)")
+		headline   = flag.Bool("headline", false, "§6 headline: best configuration vs fixed ICOUNT")
+		similarity = flag.Bool("similarity", false, "homogeneous vs diverse mix gains (§6)")
+
+		quanta    = flag.Int("quanta", 64, "measured scheduling quanta per run")
+		intervals = flag.Int("intervals", 3, "measurement intervals per mix (paper used 10)")
+		threads   = flag.Int("threads", 8, "hardware contexts")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		workers   = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		mixesFlag = flag.String("mixes", "", "comma-separated mix subset (default: all 13)")
+	)
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Quanta = *quanta
+	o.Intervals = *intervals
+	o.Threads = *threads
+	o.Seed = *seed
+	o.Workers = *workers
+	if *mixesFlag != "" {
+		o.Mixes = strings.Split(*mixesFlag, ",")
+		for _, m := range o.Mixes {
+			if _, ok := trace.MixByName(m); !ok {
+				fatalf("unknown mix %q", m)
+			}
+		}
+	}
+
+	if *all {
+		*fig7, *fig8, *table1, *oracleF, *saturation, *calibrate, *headline, *similarity, *jobschedF =
+			true, true, true, true, true, true, true, true, true
+	}
+	if !(*fig7 || *fig8 || *table1 || *oracleF || *saturation || *calibrate || *headline || *similarity || *jobschedF) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sweep *experiments.Sweep
+	needSweep := *fig7 || *fig8 || *headline || *similarity
+	if needSweep {
+		fmt.Fprintf(os.Stderr, "running threshold x heuristic sweep (%d mixes x %d intervals x 25 configs + baseline)...\n",
+			len(o.MixNames()), o.Intervals)
+		var err error
+		sweep, err = experiments.RunSweep(o, nil, nil)
+		if err != nil {
+			fatalf("sweep: %v", err)
+		}
+	}
+
+	if *table1 {
+		res, err := experiments.RunTable1(o)
+		if err != nil {
+			fatalf("table1: %v", err)
+		}
+		fmt.Println(res.Table())
+		fmt.Println(res.PerMixTable())
+	}
+	if *fig7 {
+		fmt.Println(sweep.Figure7Switches())
+		fmt.Println(sweep.Figure7Benign())
+	}
+	if *fig8 {
+		fmt.Println(sweep.Figure8IPC())
+		fmt.Println(sweep.Figure8Improvement())
+		fmt.Println(sweep.Figure8Chart())
+	}
+	if *headline {
+		fmt.Println(sweep.Headline())
+		fmt.Println()
+	}
+	if *similarity {
+		homo := map[string]bool{}
+		for _, m := range trace.Mixes() {
+			homo[m.Name] = m.Homogeneous
+		}
+		hg, dg, err := sweep.Similarity(2, detector.Type3, homo)
+		if err != nil {
+			fatalf("similarity: %v", err)
+		}
+		fmt.Printf("similarity (Type 3, m=2): homogeneous mixes %+.1f%%, diverse mixes %+.1f%% over fixed ICOUNT (paper: homogeneous benefit more)\n\n",
+			100*hg, 100*dg)
+	}
+	if *oracleF {
+		res, err := experiments.RunOracle(o)
+		if err != nil {
+			fatalf("oracle: %v", err)
+		}
+		fmt.Println(res.Table())
+		env, err := experiments.RunEnvelope(o, nil)
+		if err != nil {
+			fatalf("envelope: %v", err)
+		}
+		fmt.Println(env.Table())
+	}
+	if *saturation {
+		res, err := experiments.RunSaturation(o, nil)
+		if err != nil {
+			fatalf("saturation: %v", err)
+		}
+		fmt.Println(res.Table())
+	}
+	if *calibrate {
+		res, err := experiments.RunCalibration(o)
+		if err != nil {
+			fatalf("calibrate: %v", err)
+		}
+		fmt.Println(res.Table())
+	}
+	if *jobschedF {
+		res, err := experiments.RunJobsched(o, 12)
+		if err != nil {
+			fatalf("jobsched: %v", err)
+		}
+		fmt.Println(res.Table())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "adts-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command dtasm works with detector-thread kernels (internal/dtvm): it
+// assembles and checks kernel files, dumps the built-in paper kernels,
+// and dry-runs a kernel against a synthetic quantum snapshot so the
+// decision logic can be debugged without a simulation.
+//
+// Usage:
+//
+//	dtasm -dump type1 > type1.dt        # the paper's Figure 4 kernel
+//	dtasm -dump type3 > type3.dt        # the Figure 3/6 kernel
+//	dtasm -check mykernel.dt
+//	dtasm -run mykernel.dt -ipc 0.8 -l1miss 0.3 -incumbent ICOUNT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/detector"
+	"repro/internal/dtvm"
+	"repro/internal/policy"
+)
+
+func main() {
+	var (
+		dump      = flag.String("dump", "", "print a built-in kernel: type1 | type3")
+		check     = flag.String("check", "", "assemble a kernel file and report statistics")
+		run       = flag.String("run", "", "assemble and dry-run a kernel file against the -ipc/-l1miss/... snapshot")
+		m         = flag.Float64("m", 2, "IPC threshold baked into dumped kernels")
+		clogLimit = flag.Int("cloglimit", 24, "clogging pre-issue limit baked into the type3 kernel")
+
+		ipc       = flag.Float64("ipc", 1.0, "dry-run: quantum IPC")
+		l1miss    = flag.Float64("l1miss", 0, "dry-run: L1 misses/cycle")
+		lsqfull   = flag.Float64("lsqfull", 0, "dry-run: LSQ-full events/cycle")
+		mispred   = flag.Float64("mispred", 0, "dry-run: mispredicts/cycle")
+		condbr    = flag.Float64("condbr", 0, "dry-run: conditional branches/cycle")
+		previpc   = flag.Float64("previpc", 0, "dry-run: previous quantum IPC")
+		incumbent = flag.String("incumbent", "ICOUNT", "dry-run: engaged policy")
+	)
+	flag.Parse()
+
+	switch {
+	case *dump != "":
+		switch *dump {
+		case "type1":
+			fmt.Print(dtvm.Type1Source(*m))
+		case "type3":
+			cfg := detector.DefaultConfig(8)
+			cfg.IPCThreshold = *m
+			fmt.Print(dtvm.Type3Source(cfg, *clogLimit))
+		default:
+			fatalf("unknown built-in kernel %q (type1 | type3)", *dump)
+		}
+	case *check != "":
+		prog := mustAssemble(*check)
+		fmt.Printf("%s: OK — %d instructions, %d labels\n", *check, len(prog.Insts), countLabels(prog))
+	case *run != "":
+		prog := mustAssemble(*run)
+		inc, err := policy.Parse(*incumbent)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		q := detector.QuantumStats{
+			Cycles:      8192,
+			IPC:         *ipc,
+			L1MissRate:  *l1miss,
+			LSQFullRate: *lsqfull,
+			MispredRate: *mispred,
+			CondBrRate:  *condbr,
+			PerThread:   make([]detector.ThreadQuantum, 8),
+		}
+		out, err := prog.Exec(q, inc, *previpc)
+		if err != nil {
+			fatalf("execution failed: %v", err)
+		}
+		fmt.Printf("executed %d VM instructions\n", out.Steps)
+		switch {
+		case out.Switch:
+			fmt.Printf("decision: switch %v -> %v\n", inc, out.NewPolicy)
+		case out.Keep:
+			fmt.Printf("decision: keep %v\n", inc)
+		default:
+			fmt.Println("decision: none (kernel halted without setpol/keep)")
+		}
+		for tid, clog := range out.Clogging {
+			if clog {
+				fmt.Printf("clogging: thread %d\n", tid)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustAssemble(path string) *dtvm.Program {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := dtvm.Assemble(string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return prog
+}
+
+func countLabels(p *dtvm.Program) int {
+	n := 0
+	for _, in := range p.Insts {
+		if in.Op == dtvm.OpJmp || in.Op == dtvm.OpBlt || in.Op == dtvm.OpBge || in.Op == dtvm.OpBeq {
+			n++
+		}
+	}
+	return n
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dtasm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command smtsim runs one SMT simulation — a workload mix under a fixed
+// fetch policy, adaptive dynamic thread scheduling, or the oracle — and
+// prints aggregate and per-thread statistics plus the per-quantum policy
+// timeline.
+//
+// Usage:
+//
+//	smtsim -mix kitchen-sink -mode fixed -policy ICOUNT
+//	smtsim -mix int-memory -mode adts -heuristic "Type 3" -m 2
+//	smtsim -mix fp-stream -mode oracle -quanta 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dtvm"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		mix       = flag.String("mix", "kitchen-sink", "workload mix (see mixgen -list)")
+		mode      = flag.String("mode", "fixed", "scheduling mode: fixed | adts | oracle")
+		polName   = flag.String("policy", "ICOUNT", "fetch policy for -mode fixed")
+		heuristic = flag.String("heuristic", "Type 3", "ADTS heuristic: Type 1..Type 4, Type 3'")
+		kernelF   = flag.String("kernel", "", "ADTS: drive the detector with an assembled DT kernel from this file instead of the built-in heuristic")
+		m         = flag.Float64("m", 2, "ADTS IPC threshold")
+		threads   = flag.Int("threads", 8, "hardware contexts (1..8)")
+		quanta    = flag.Int("quanta", 64, "measured scheduling quanta")
+		ff        = flag.Int64("fastforward", 16384, "cycles to fast-forward before measuring")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		machineF  = flag.String("machine", "", "load machine configuration from a JSON file (see pipeline.SaveConfig)")
+		timeline  = flag.Bool("timeline", false, "print the per-quantum policy/IPC timeline")
+		csvPath   = flag.String("csv", "", "write the per-quantum series (quantum, policy, IPC) as CSV to this file")
+		verbose   = flag.Bool("v", false, "print per-thread detail")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*mix)
+	if *machineF != "" {
+		mc, err := pipeline.LoadConfig(*machineF)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Machine = mc
+	}
+	cfg.Threads = *threads
+	cfg.Quanta = *quanta
+	cfg.FastForward = *ff
+	cfg.Seed = *seed
+
+	switch *mode {
+	case "fixed":
+		cfg.Mode = core.ModeFixed
+		p, err := policy.Parse(*polName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.FixedPolicy = p
+	case "adts":
+		cfg.Mode = core.ModeADTS
+		h, err := detector.ParseHeuristic(*heuristic)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Detector.Heuristic = h
+		cfg.Detector.IPCThreshold = *m
+		if *kernelF != "" {
+			src, err := os.ReadFile(*kernelF)
+			if err != nil {
+				fatal(err)
+			}
+			prog, err := dtvm.Assemble(string(src))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Kernel = prog
+		}
+	case "oracle":
+		cfg.Mode = core.ModeOracle
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res := sim.Run()
+
+	mx, _ := trace.MixByName(*mix)
+	fmt.Printf("mix %s (%s), %d threads, %s mode\n", mx.Name, mx.Description, res.Threads, res.Mode)
+	fmt.Printf("cycles %d, committed %d, aggregate IPC %.3f\n", res.Cycles, res.Committed, res.AggregateIPC)
+	fmt.Printf("rates/cycle: mispred %.4f, L1 miss %.4f, LSQ-full %.4f, cond-br %.4f; wrong-path fetch %.1f%%\n",
+		res.MispredRate, res.L1MissRate, res.LSQFullRate, res.CondBrRate, 100*res.WrongPathFrac)
+
+	if cfg.Mode == core.ModeADTS {
+		d := res.Detector
+		fmt.Printf("detector: %v m=%g — %d low quanta, %d switches (benign %d / malignant %d, P=%.2f)\n",
+			res.Heuristic, res.Threshold, d.LowQuanta, d.Switches, d.Benign, d.Malignant, d.BenignProbability())
+		fmt.Printf("DT cost model: %d jobs, %d completed, %d preempted, %d fetch slots, %d issue slots\n",
+			res.DT.JobsScheduled, res.DT.JobsCompleted, res.DT.JobsPreempted,
+			res.DT.FetchSlotsUsed, res.DT.IssueSlotsUsed)
+		if res.KernelSteps > 0 {
+			fmt.Printf("detector kernel: %d VM instructions executed\n", res.KernelSteps)
+		}
+	}
+	if cfg.Mode == core.ModeOracle {
+		fmt.Printf("oracle: %d policy switches\n", res.OracleSwitches)
+	}
+
+	if *verbose {
+		progs, _ := mx.Programs(*threads, *seed)
+		for i, ipc := range res.PerThreadIPC {
+			fmt.Printf("  thread %d (%s): IPC %.3f\n", i, progs[i].Profile().Name, ipc)
+		}
+	}
+	if *timeline {
+		fmt.Println("quantum timeline (policy engaged at quantum end, quantum IPC):")
+		for i, p := range res.PolicyTimeline {
+			fmt.Printf("  q%03d %-12s %.3f\n", i, p, res.QuantumIPC[i])
+		}
+	}
+	if *csvPath != "" {
+		var b strings.Builder
+		b.WriteString("quantum,policy,ipc\n")
+		for i, p := range res.PolicyTimeline {
+			fmt.Fprintf(&b, "%d,%s,%.6f\n", i, p, res.QuantumIPC[i])
+		}
+		if err := os.WriteFile(*csvPath, []byte(b.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d quanta to %s\n", len(res.PolicyTimeline), *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smtsim:", err)
+	os.Exit(1)
+}

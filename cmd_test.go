@@ -1,0 +1,140 @@
+package repro
+
+// CLI integration tests: build each command once and exercise its main
+// paths. These catch flag-wiring regressions the package tests cannot.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "repro-bins")
+		if buildErr != nil {
+			return
+		}
+		for _, cmd := range []string{"smtsim", "adts-sweep", "mixgen", "dtasm"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("building %s: %s", cmd, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Skipf("cannot build command binaries: %v", buildErr)
+	}
+	return binDir
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binaries(t), name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIMixgen(t *testing.T) {
+	out := run(t, "mixgen", "-list")
+	if !strings.Contains(out, "kitchen-sink") {
+		t.Fatalf("mixgen -list missing mixes:\n%s", out)
+	}
+	out = run(t, "mixgen", "-profiles")
+	if !strings.Contains(out, "mcf") {
+		t.Fatalf("mixgen -profiles missing catalogue:\n%s", out)
+	}
+	out = run(t, "mixgen", "-sample", "gzip", "-n", "50000")
+	if !strings.Contains(out, "dynamic instruction mix") {
+		t.Fatalf("mixgen -sample broken:\n%s", out)
+	}
+}
+
+func TestCLISmtsim(t *testing.T) {
+	out := run(t, "smtsim", "-mix", "int-compute", "-quanta", "4", "-fastforward", "2048")
+	if !strings.Contains(out, "aggregate IPC") {
+		t.Fatalf("smtsim fixed run broken:\n%s", out)
+	}
+	out = run(t, "smtsim", "-mix", "int-memory", "-mode", "adts", "-m", "4",
+		"-quanta", "4", "-fastforward", "2048", "-timeline")
+	if !strings.Contains(out, "detector:") || !strings.Contains(out, "quantum timeline") {
+		t.Fatalf("smtsim adts run broken:\n%s", out)
+	}
+}
+
+func TestCLISmtsimKernelAndMachine(t *testing.T) {
+	dir := t.TempDir()
+	kernel := filepath.Join(dir, "k.dt")
+	src := run(t, "dtasm", "-dump", "type1")
+	if err := os.WriteFile(kernel, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	machine := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(machine, []byte(`{"FetchThreads": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "smtsim", "-mix", "int-memory", "-mode", "adts",
+		"-kernel", kernel, "-machine", machine, "-quanta", "4", "-fastforward", "2048")
+	if !strings.Contains(out, "detector kernel:") {
+		t.Fatalf("kernel-driven smtsim broken:\n%s", out)
+	}
+}
+
+func TestCLIDtasm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t3.dt")
+	src := run(t, "dtasm", "-dump", "type3")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "dtasm", "-check", path)
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("dtasm -check broken:\n%s", out)
+	}
+	out = run(t, "dtasm", "-run", path, "-ipc", "0.5", "-l1miss", "0.4")
+	if !strings.Contains(out, "switch ICOUNT -> L1MISSCOUNT") {
+		t.Fatalf("dtasm -run routing wrong:\n%s", out)
+	}
+}
+
+func TestCLIAdtsSweepCalibrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow CLI run")
+	}
+	out := run(t, "adts-sweep", "-calibrate", "-quanta", "4", "-intervals", "1",
+		"-mixes", "int-compute")
+	if !strings.Contains(out, "paper threshold") {
+		t.Fatalf("adts-sweep -calibrate broken:\n%s", out)
+	}
+}
+
+func TestCLISmtsimCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "run.csv")
+	run(t, "smtsim", "-mix", "int-compute", "-quanta", "3", "-fastforward", "1024", "-csv", csv)
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 || lines[0] != "quantum,policy,ipc" {
+		t.Fatalf("bad CSV:\n%s", data)
+	}
+	if !strings.HasPrefix(lines[1], "0,ICOUNT,") {
+		t.Fatalf("bad CSV row: %s", lines[1])
+	}
+}

@@ -1,0 +1,31 @@
+// Package repro is a from-scratch Go reproduction of "Dynamic Scheduling
+// Issues in SMT Architectures" (Shin, Lee, Gaudiot; IPPS 2003): Adaptive
+// Dynamic Thread Scheduling (ADTS) with a detector thread on a
+// simultaneous-multithreading processor.
+//
+// The repository contains the complete system the paper's evaluation
+// needs, built from scratch on the standard library only:
+//
+//   - internal/pipeline — a trace-driven, cycle-level SMT out-of-order
+//     core (ICOUNT.2.8 fetch, shared queues and rename pools, per-thread
+//     ROBs, wrong-path execution, syscall drains, a detector-thread cost
+//     model);
+//   - internal/trace — a deterministic synthetic workload substrate
+//     modelling sixteen SPEC CPU2000 applications and the paper's
+//     thirteen multiprogrammed mixes;
+//   - internal/branch, internal/cache — the predictor and memory
+//     hierarchy substrates;
+//   - internal/policy — the ten fetch policies of Table 1;
+//   - internal/detector — the ADTS detector thread (heuristics Type 1,
+//     2, 3, 3' and 4, switching-history buffer, clog identification);
+//   - internal/oracle — the clone-based per-quantum oracle upper bound;
+//   - internal/core — the public simulation facade;
+//   - internal/experiments — drivers regenerating every table and
+//     figure of the paper's evaluation.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory
+// and substitutions, and EXPERIMENTS.md for paper-versus-measured
+// results. The benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=. -benchmem
+package repro

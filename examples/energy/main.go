@@ -1,0 +1,53 @@
+// Energy analysis: the activity-based power model (ALPSS-style) applied
+// to fixed versus adaptive scheduling. Wrong-path instructions burn
+// front-end and execution energy without retiring work; a scheduler that
+// wastes fewer slots is more efficient per instruction even at equal
+// throughput.
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/policy"
+	"repro/internal/power"
+)
+
+func main() {
+	model := power.DefaultModel()
+
+	for _, setup := range []struct {
+		name string
+		mode core.Mode
+		pol  policy.Policy
+	}{
+		{"fixed ICOUNT", core.ModeFixed, policy.ICOUNT},
+		{"fixed RR", core.ModeFixed, policy.RR},
+		{"ADTS Type 3 m=2", core.ModeADTS, policy.ICOUNT},
+	} {
+		cfg := core.DefaultConfig("int-branchy")
+		cfg.Quanta = 24
+		cfg.Mode = setup.mode
+		cfg.FixedPolicy = setup.pol
+		cfg.Detector.Heuristic = detector.Type3
+		cfg.Detector.IPCThreshold = 2
+		sim, err := core.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sim.Run()
+		rep := model.Analyze(sim.Machine())
+
+		fmt.Printf("=== %s ===\n", setup.name)
+		fmt.Printf("throughput %.3f IPC, fairness (Jain) %.2f\n", res.AggregateIPC, res.FairnessJain)
+		fmt.Print(rep)
+		fmt.Println()
+	}
+
+	fmt.Println("reading: RR wastes fetch slots on clogged threads (higher EPI at lower IPC);")
+	fmt.Println("the wrong-path share of energy tracks each scheduler's mispredict exposure.")
+}

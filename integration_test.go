@@ -1,0 +1,171 @@
+package repro
+
+// Cross-module integration tests: these exercise the full stack
+// (trace -> pipeline -> detector/oracle -> core -> experiments) the way
+// the experiment drivers do, and pin the end-to-end properties the
+// reproduction rests on.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/jobsched"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// TestEndToEndDeterminism: the full ADTS stack is bit-deterministic.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() core.Result {
+		cfg := core.DefaultConfig("kitchen-sink")
+		cfg.Mode = core.ModeADTS
+		cfg.Quanta = 10
+		sim, err := core.NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	a, b := run(), run()
+	if a.Committed != b.Committed || a.Detector.Switches != b.Detector.Switches {
+		t.Fatalf("nondeterministic end-to-end run: %d/%d vs %d/%d",
+			a.Committed, a.Detector.Switches, b.Committed, b.Detector.Switches)
+	}
+	for i := range a.PolicyTimeline {
+		if a.PolicyTimeline[i] != b.PolicyTimeline[i] {
+			t.Fatal("policy timelines diverged")
+		}
+	}
+}
+
+// TestSMTBeatsSingleThread: the premise of the whole field.
+func TestSMTBeatsSingleThread(t *testing.T) {
+	ipc := func(threads int) float64 {
+		cfg := core.DefaultConfig("mixed-ilp")
+		cfg.Threads = threads
+		cfg.Quanta = 12
+		sim, err := core.NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run().AggregateIPC
+	}
+	one, eight := ipc(1), ipc(8)
+	if eight < one*1.5 {
+		t.Fatalf("8-thread SMT (%.2f) should beat single-thread (%.2f) by >50%%", eight, one)
+	}
+}
+
+// TestICOUNTBeatsRREndToEnd: Tullsen's headline result must hold in
+// this substrate, or nothing downstream is meaningful.
+func TestICOUNTBeatsRREndToEnd(t *testing.T) {
+	ipc := func(p policy.Policy) float64 {
+		cfg := core.DefaultConfig("kitchen-sink")
+		cfg.FixedPolicy = p
+		cfg.Quanta = 16
+		sim, err := core.NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run().AggregateIPC
+	}
+	ic, rr := ipc(policy.ICOUNT), ipc(policy.RR)
+	if ic <= rr {
+		t.Fatalf("ICOUNT (%.3f) must beat round-robin (%.3f)", ic, rr)
+	}
+}
+
+// TestDetectorTimelineMatchesSwitches: every engaged-policy change in
+// the timeline corresponds to detector switches having been decided.
+func TestDetectorTimelineMatchesSwitches(t *testing.T) {
+	cfg := core.DefaultConfig("int-memory")
+	cfg.Mode = core.ModeADTS
+	cfg.Detector.Heuristic = detector.Type1
+	cfg.Detector.IPCThreshold = 4 // permanently low: switches every quantum
+	cfg.Quanta = 10
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	changes := 0
+	prev := policy.ICOUNT
+	for _, p := range res.PolicyTimeline {
+		if p != prev {
+			changes++
+		}
+		prev = p
+	}
+	if changes == 0 {
+		t.Fatal("no engaged-policy changes despite permanent low throughput")
+	}
+	if uint64(changes) > res.Detector.Switches {
+		t.Fatalf("%d engaged changes but only %d decided switches", changes, res.Detector.Switches)
+	}
+}
+
+// TestJobschedOverADTSMachine: the full stack including the job
+// scheduler and the power model runs consistently.
+func TestJobschedOverADTSMachine(t *testing.T) {
+	mix, _ := trace.MixByName("kitchen-sink")
+	progs, err := mix.Programs(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pipeline.New(pipeline.DefaultConfig(), progs, 1)
+	var jobs []*jobsched.Job
+	for i, p := range trace.Profiles() {
+		jobs = append(jobs, &jobsched.Job{Name: p.Name, Prog: trace.NewProgram(p, i%8, uint64(i))})
+	}
+	cfg := jobsched.DefaultConfig()
+	cfg.Slice = 16384
+	cfg.Policy = jobsched.ClogAware
+	s, err := jobsched.New(cfg, m, detector.New(detector.DefaultConfig(8)), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		s.RunSlice()
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rep := power.DefaultModel().Analyze(m)
+	if rep.Total <= 0 || rep.EPI <= 0 {
+		t.Fatalf("power analysis degenerate over jobsched run: %+v", rep)
+	}
+}
+
+// TestOracleNeverBelowWorstCandidate: across a few quanta, the oracle's
+// choice each quantum is at least the per-quantum best, so its total
+// must be >= the total of always picking the per-quantum WORST.
+func TestOracleNeverBelowWorstCandidate(t *testing.T) {
+	cfg := core.DefaultConfig("mixed-lowipc")
+	cfg.Mode = core.ModeOracle
+	cfg.Quanta = 4
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleRes := sim.Run()
+
+	worst := func(p policy.Policy) float64 {
+		c := core.DefaultConfig("mixed-lowipc")
+		c.FixedPolicy = p
+		c.Quanta = 4
+		s, _ := core.NewSimulator(c)
+		return s.Run().AggregateIPC
+	}
+	lo := worst(policy.ICOUNT)
+	for _, p := range []policy.Policy{policy.BRCOUNT, policy.L1MISSCOUNT} {
+		if v := worst(p); v < lo {
+			lo = v
+		}
+	}
+	if oracleRes.AggregateIPC < lo*0.95 {
+		t.Fatalf("oracle (%.3f) fell below the worst fixed candidate (%.3f)", oracleRes.AggregateIPC, lo)
+	}
+}

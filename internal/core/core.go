@@ -1,0 +1,434 @@
+// Package core is the public facade of the ADTS reproduction: it wires a
+// workload mix, the SMT pipeline, and a scheduling mode (fixed policy,
+// adaptive ADTS, or the oracle upper bound) into a single Simulator with
+// a one-call Run, and collects everything the paper's figures need —
+// per-quantum IPC, the policy timeline, and switch-quality statistics.
+//
+// Typical use:
+//
+//	cfg := core.DefaultConfig("kitchen-sink")
+//	cfg.Mode = core.ModeADTS
+//	cfg.Detector.Heuristic = detector.Type3
+//	cfg.Detector.IPCThreshold = 2
+//	sim, err := core.NewSimulator(cfg)
+//	...
+//	res := sim.Run()
+//	fmt.Println(res.AggregateIPC)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/detector"
+	"repro/internal/dtvm"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Mode selects the thread-scheduling regime.
+type Mode int
+
+const (
+	// ModeFixed engages one fetch policy for the whole run (the
+	// baselines of Table 1).
+	ModeFixed Mode = iota
+	// ModeADTS runs adaptive dynamic thread scheduling with the
+	// detector thread.
+	ModeADTS
+	// ModeOracle picks the per-quantum best policy by lookahead on
+	// machine clones (the upper bound).
+	ModeOracle
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFixed:
+		return "fixed"
+	case ModeADTS:
+		return "adts"
+	case ModeOracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config describes one simulation.
+type Config struct {
+	// MixName selects a workload from trace.Mixes; alternatively set
+	// Programs directly (it wins when non-nil).
+	MixName  string
+	Programs []*trace.Program
+	// Threads is the number of hardware contexts to populate from the
+	// mix (1..8).
+	Threads int
+	// Seed drives all stochastic workload behaviour.
+	Seed uint64
+
+	Machine  pipeline.Config
+	Detector detector.Config
+
+	Mode        Mode
+	FixedPolicy policy.Policy
+	// OracleCandidates defaults to oracle.DefaultCandidates.
+	OracleCandidates []policy.Policy
+
+	// Kernel, when non-nil in ADTS mode, replaces the functional
+	// detector's decision logic with an assembled detector-thread
+	// program (internal/dtvm): the paper's programmable-DT argument
+	// made literal. The kernel's measured instruction count drives the
+	// leftover-slot cost model; benign-switch scoring (a measurement
+	// artefact, not DT software) still comes from the quantum IPC
+	// series.
+	Kernel *dtvm.Program
+
+	// FastForward cycles are simulated before measurement begins,
+	// standing in for SimpleScalar's fast-forward to a random interval.
+	FastForward int64
+	// Quanta is the number of measured scheduling quanta.
+	Quanta int
+}
+
+// DefaultConfig returns an 8-thread fixed-ICOUNT run of the named mix:
+// the paper's baseline configuration.
+func DefaultConfig(mixName string) Config {
+	return Config{
+		MixName:     mixName,
+		Threads:     8,
+		Seed:        1,
+		Machine:     pipeline.DefaultConfig(),
+		Detector:    detector.DefaultConfig(8),
+		Mode:        ModeFixed,
+		FixedPolicy: policy.ICOUNT,
+		FastForward: 16384,
+		Quanta:      64,
+	}
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	if c.Programs == nil {
+		if _, ok := trace.MixByName(c.MixName); !ok {
+			return fmt.Errorf("core: unknown mix %q", c.MixName)
+		}
+		if c.Threads < 1 || c.Threads > 8 {
+			return fmt.Errorf("core: Threads must be in 1..8, got %d", c.Threads)
+		}
+	}
+	if c.Quanta <= 0 {
+		return fmt.Errorf("core: Quanta must be positive")
+	}
+	if c.FastForward < 0 {
+		return fmt.Errorf("core: FastForward must be >= 0")
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.Mode == ModeADTS {
+		if err := c.Detector.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is everything a run produces.
+type Result struct {
+	Mix       string
+	Mode      Mode
+	Threads   int
+	Seed      uint64
+	Policy    policy.Policy      // fixed mode: the policy
+	Heuristic detector.Heuristic // ADTS mode
+	Threshold float64            // ADTS mode
+
+	Cycles    int64
+	Committed uint64
+	// AggregateIPC is committed instructions per cycle over the
+	// measured window, the paper's throughput metric.
+	AggregateIPC float64
+	PerThreadIPC []float64
+
+	// QuantumIPC is the per-quantum aggregate IPC series.
+	QuantumIPC []float64
+	// PolicyTimeline records the policy engaged at the END of each
+	// quantum (switches apply mid-quantum, when the DT job finishes).
+	PolicyTimeline []policy.Policy
+
+	// Detector bookkeeping (zero-valued outside ADTS mode).
+	Detector detector.Stats
+	DT       pipeline.DTStats
+	// KernelSteps is the measured detector-thread VM instruction count
+	// (kernel-driven ADTS only).
+	KernelSteps uint64
+
+	// OracleSwitches counts oracle policy changes (oracle mode only).
+	OracleSwitches uint64
+
+	// Workload character over the measured window, per cycle.
+	MispredRate   float64
+	L1MissRate    float64
+	LSQFullRate   float64
+	CondBrRate    float64
+	WrongPathFrac float64 // wrong-path fraction of all fetched instructions
+
+	// FairnessJain is Jain's fairness index over per-thread IPC:
+	// 1 = perfectly even progress, 1/n = one thread hoarding the
+	// machine. Throughput-greedy policies (ACCIPC, STALLCOUNT) buy IPC
+	// with fairness; this makes the trade visible.
+	FairnessJain float64
+	// MinMaxRatio is min/max per-thread IPC, a starvation indicator.
+	MinMaxRatio float64
+}
+
+// jainIndex computes Jain's fairness index (sum x)^2 / (n * sum x^2).
+func jainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s, s2 float64
+	for _, x := range xs {
+		s += x
+		s2 += x * x
+	}
+	if s2 == 0 {
+		return 0
+	}
+	return s * s / (float64(len(xs)) * s2)
+}
+
+// minMaxRatio returns min(xs)/max(xs), 0 when max is 0.
+func minMaxRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return lo / hi
+}
+
+// Simulator couples a machine with a scheduling regime.
+type Simulator struct {
+	cfg    Config
+	m      *pipeline.Machine
+	det    *detector.Detector
+	kernel *dtvm.Runner
+	orc    *oracle.Scheduler
+
+	prevCum []counters.Counters
+}
+
+// NewSimulator builds a simulator; the machine is constructed but no
+// cycles run yet.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	progs := cfg.Programs
+	if progs == nil {
+		mix, _ := trace.MixByName(cfg.MixName)
+		var err error
+		progs, err = mix.Programs(cfg.Threads, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mc := cfg.Machine
+	switch cfg.Mode {
+	case ModeFixed:
+		mc.InitialPolicy = cfg.FixedPolicy
+	case ModeADTS:
+		mc.InitialPolicy = cfg.Detector.InitialPolicy
+	case ModeOracle:
+		mc.InitialPolicy = policy.ICOUNT
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		m:       pipeline.New(mc, progs, cfg.Seed),
+		prevCum: make([]counters.Counters, len(progs)),
+	}
+	if cfg.Mode == ModeADTS {
+		if cfg.Kernel != nil {
+			s.kernel = dtvm.NewRunner(cfg.Kernel)
+			if _, err := s.kernel.OnQuantumEnd(detector.QuantumStats{
+				Cycles: 1, PerThread: make([]detector.ThreadQuantum, len(progs)),
+			}); err != nil {
+				return nil, fmt.Errorf("core: detector kernel dry run failed: %w", err)
+			}
+			s.kernel = dtvm.NewRunner(cfg.Kernel) // reset after dry run
+		} else {
+			s.det = detector.New(cfg.Detector)
+		}
+	}
+	if cfg.Mode == ModeOracle {
+		cands := cfg.OracleCandidates
+		if cands == nil {
+			cands = oracle.DefaultCandidates()
+		}
+		s.orc = &oracle.Scheduler{Quantum: cfg.Detector.Quantum, Candidates: cands}
+	}
+	return s, nil
+}
+
+// Machine exposes the underlying pipeline for inspection and tests.
+func (s *Simulator) Machine() *pipeline.Machine { return s.m }
+
+// Detector exposes the ADTS detector (nil outside ADTS mode).
+func (s *Simulator) Detector() *detector.Detector { return s.det }
+
+// snapshotDelta returns per-thread counter deltas since the previous
+// call and updates the snapshot.
+func (s *Simulator) snapshotDelta() []counters.Counters {
+	n := s.m.NumThreads()
+	deltas := make([]counters.Counters, n)
+	for i := 0; i < n; i++ {
+		cum := s.m.State(i).Cum
+		deltas[i] = cum.Sub(s.prevCum[i])
+		s.prevCum[i] = cum
+	}
+	return deltas
+}
+
+// quantumStats aggregates per-thread deltas into the detector's view.
+func (s *Simulator) quantumStats(deltas []counters.Counters, cycles int64) detector.QuantumStats {
+	q := detector.QuantumStats{
+		Cycles:    cycles,
+		PerThread: make([]detector.ThreadQuantum, len(deltas)),
+	}
+	var misp, l1, lsq, cbr uint64
+	for i, d := range deltas {
+		q.Committed += d.Committed
+		misp += d.Mispredicts
+		l1 += d.L1Misses()
+		lsq += d.LSQFull
+		cbr += d.CondBranches
+		q.PerThread[i] = detector.ThreadQuantum{
+			Committed: d.Committed,
+			PreIssue:  s.m.State(i).Live.PreIssue,
+		}
+	}
+	fc := float64(cycles)
+	q.IPC = float64(q.Committed) / fc
+	q.MispredRate = float64(misp) / fc
+	q.L1MissRate = float64(l1) / fc
+	q.LSQFullRate = float64(lsq) / fc
+	q.CondBrRate = float64(cbr) / fc
+	return q
+}
+
+// Run executes fast-forward plus the measured quanta and returns the
+// collected result.
+func (s *Simulator) Run() Result {
+	quantum := s.cfg.Detector.Quantum
+	if quantum <= 0 {
+		quantum = 8192
+	}
+
+	s.m.Run(s.cfg.FastForward)
+	// Measurement baseline.
+	startCycle := s.m.Now()
+	startCommitted := s.m.TotalCommitted()
+	startCum := make([]counters.Counters, s.m.NumThreads())
+	for i := range startCum {
+		startCum[i] = s.m.State(i).Cum
+		s.prevCum[i] = startCum[i]
+	}
+
+	res := Result{
+		Mix:     s.cfg.MixName,
+		Mode:    s.cfg.Mode,
+		Threads: s.m.NumThreads(),
+		Seed:    s.cfg.Seed,
+		Policy:  s.cfg.FixedPolicy,
+	}
+	if s.cfg.Mode == ModeADTS {
+		res.Heuristic = s.cfg.Detector.Heuristic
+		res.Threshold = s.cfg.Detector.IPCThreshold
+	}
+
+	for qi := 0; qi < s.cfg.Quanta; qi++ {
+		// STALLCOUNT keys on the running quantum's stalls.
+		for i := 0; i < s.m.NumThreads(); i++ {
+			s.m.State(i).QuantumStalls = 0
+		}
+		if s.cfg.Mode == ModeOracle {
+			s.orc.Step(s.m)
+		} else {
+			s.m.Run(quantum)
+		}
+		deltas := s.snapshotDelta()
+		qs := s.quantumStats(deltas, quantum)
+		res.QuantumIPC = append(res.QuantumIPC, qs.IPC)
+		res.PolicyTimeline = append(res.PolicyTimeline, s.m.Policy())
+
+		if s.cfg.Mode == ModeADTS {
+			var dec detector.Decision
+			if s.kernel != nil {
+				var err error
+				dec, err = s.kernel.OnQuantumEnd(qs)
+				if err != nil {
+					panic(fmt.Sprintf("core: detector kernel failed at quantum %d: %v", qi, err))
+				}
+			} else {
+				dec = s.det.OnQuantumEnd(qs)
+			}
+			s.m.ScheduleDetectorJob(dec.Work, dec.NewPolicy, dec.Switch)
+			for i, clog := range dec.Clogging {
+				f := s.m.State(i).Flags
+				f.Clogging = clog
+				s.m.SetFlags(i, f)
+			}
+		}
+	}
+
+	res.Cycles = s.m.Now() - startCycle
+	res.Committed = s.m.TotalCommitted() - startCommitted
+	res.AggregateIPC = float64(res.Committed) / float64(res.Cycles)
+	res.PerThreadIPC = make([]float64, s.m.NumThreads())
+	var misp, l1, lsq, cbr, fetched, wrong uint64
+	for i := 0; i < s.m.NumThreads(); i++ {
+		d := s.m.State(i).Cum.Sub(startCum[i])
+		res.PerThreadIPC[i] = float64(d.Committed) / float64(res.Cycles)
+		misp += d.Mispredicts
+		l1 += d.L1Misses()
+		lsq += d.LSQFull
+		cbr += d.CondBranches
+		fetched += d.Fetched
+		wrong += d.WrongFetched
+	}
+	fc := float64(res.Cycles)
+	res.MispredRate = float64(misp) / fc
+	res.L1MissRate = float64(l1) / fc
+	res.LSQFullRate = float64(lsq) / fc
+	res.CondBrRate = float64(cbr) / fc
+	if fetched > 0 {
+		res.WrongPathFrac = float64(wrong) / float64(fetched)
+	}
+	res.FairnessJain = jainIndex(res.PerThreadIPC)
+	res.MinMaxRatio = minMaxRatio(res.PerThreadIPC)
+	if s.det != nil {
+		res.Detector = s.det.Stats()
+	}
+	if s.kernel != nil {
+		res.Detector.Switches = s.kernel.Switches
+		res.KernelSteps = s.kernel.TotalSteps
+	}
+	res.DT = s.m.DTStats()
+	if s.orc != nil {
+		res.OracleSwitches = s.orc.Switches
+	}
+	return res
+}

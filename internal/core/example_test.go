@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+)
+
+// Example runs a short adaptive simulation and prints whether the
+// detector ever acted, demonstrating the three-line happy path.
+func Example() {
+	cfg := core.DefaultConfig("int-memory")
+	cfg.Mode = core.ModeADTS
+	cfg.Detector.Heuristic = detector.Type1
+	cfg.Detector.IPCThreshold = 4 // memory mix runs below 4 IPC: always low
+	cfg.Quanta = 4
+	cfg.FastForward = 2048
+
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res := sim.Run()
+	fmt.Println("quanta:", len(res.QuantumIPC))
+	fmt.Println("low-throughput quanta detected:", res.Detector.LowQuanta == 4)
+	fmt.Println("policy switches decided:", res.Detector.Switches > 0)
+	// Output:
+	// quanta: 4
+	// low-throughput quanta detected: true
+	// policy switches decided: true
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+)
+
+// TestSmokeFixedICOUNT runs a short 8-thread fixed-ICOUNT simulation and
+// checks the machine produces plausible throughput and consistent state.
+func TestSmokeFixedICOUNT(t *testing.T) {
+	cfg := DefaultConfig("kitchen-sink")
+	cfg.Quanta = 8
+	cfg.FastForward = 4096
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	t.Logf("agg IPC %.3f per-thread %v", res.AggregateIPC, res.PerThreadIPC)
+	t.Logf("mispred/cyc %.4f l1miss/cyc %.4f lsqfull/cyc %.4f condbr/cyc %.4f wrongfrac %.3f",
+		res.MispredRate, res.L1MissRate, res.LSQFullRate, res.CondBrRate, res.WrongPathFrac)
+	if res.AggregateIPC <= 0.1 {
+		t.Fatalf("implausibly low aggregate IPC %.3f", res.AggregateIPC)
+	}
+	if res.AggregateIPC > 8 {
+		t.Fatalf("aggregate IPC %.3f exceeds machine width", res.AggregateIPC)
+	}
+	if err := sim.Machine().CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after run: %v", err)
+	}
+}
+
+// TestSmokeADTS runs a short adaptive simulation with every heuristic.
+func TestSmokeADTS(t *testing.T) {
+	for _, h := range detector.AllHeuristics() {
+		cfg := DefaultConfig("int-memory")
+		cfg.Mode = ModeADTS
+		cfg.Detector.Heuristic = h
+		cfg.Quanta = 12
+		cfg.FastForward = 4096
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sim.Run()
+		t.Logf("%v: IPC %.3f switches %d benignP %.2f timeline %v",
+			cfg.Detector.Heuristic, res.AggregateIPC, res.Detector.Switches,
+			res.Detector.BenignProbability(), res.PolicyTimeline)
+		if err := sim.Machine().CheckInvariants(); err != nil {
+			t.Fatalf("invariants violated: %v", err)
+		}
+	}
+}
+
+// TestSmokeOracle checks the oracle mode runs and beats nothing silly.
+func TestSmokeOracle(t *testing.T) {
+	cfg := DefaultConfig("int-memory")
+	cfg.Mode = ModeOracle
+	cfg.Quanta = 6
+	cfg.FastForward = 4096
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	t.Logf("oracle: IPC %.3f switches %d timeline %v", res.AggregateIPC, res.OracleSwitches, res.PolicyTimeline)
+	if res.AggregateIPC <= 0 {
+		t.Fatal("oracle produced zero throughput")
+	}
+}

@@ -1,0 +1,128 @@
+// Package counters defines the per-thread status indicators and thread
+// control flags of the ADTS hardware/software interface (paper §3,
+// Figure 1).
+//
+// The pipeline updates the indicators "at predetermined events in places
+// spread across the pipeline"; the detector thread reads them each
+// scheduling quantum and updates the control flags; the thread selection
+// unit and fetch stage honour the flags every cycle. Fetch policies read
+// the live occupancy gauges every cycle.
+package counters
+
+// Counters accumulates per-thread event counts. The same struct is used
+// cumulatively (whole run) and as per-quantum deltas.
+type Counters struct {
+	Fetched      uint64 // instructions fetched (right or wrong path)
+	WrongFetched uint64 // wrong-path instructions fetched
+	Committed    uint64 // instructions committed
+	Branches     uint64 // control instructions committed (cond + uncond)
+	CondBranches uint64 // conditional branches committed
+	Mispredicts  uint64 // mispredicted conditional branches resolved
+	Loads        uint64 // loads committed
+	Stores       uint64 // stores committed
+	L1IMisses    uint64 // instruction-cache misses
+	L1DMisses    uint64 // data-cache misses
+	LSQFull      uint64 // cycles a rename was blocked by a full LSQ
+	MSHRFull     uint64 // load issues rejected because all MSHRs were busy
+	FetchStalls  uint64 // cycles this thread could not fetch (I-miss, flags, squash)
+	Syscalls     uint64 // syscall drains initiated
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Fetched += o.Fetched
+	c.WrongFetched += o.WrongFetched
+	c.Committed += o.Committed
+	c.Branches += o.Branches
+	c.CondBranches += o.CondBranches
+	c.Mispredicts += o.Mispredicts
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.L1IMisses += o.L1IMisses
+	c.L1DMisses += o.L1DMisses
+	c.LSQFull += o.LSQFull
+	c.MSHRFull += o.MSHRFull
+	c.FetchStalls += o.FetchStalls
+	c.Syscalls += o.Syscalls
+}
+
+// Sub returns c - o, the delta between two cumulative snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Fetched:      c.Fetched - o.Fetched,
+		WrongFetched: c.WrongFetched - o.WrongFetched,
+		Committed:    c.Committed - o.Committed,
+		Branches:     c.Branches - o.Branches,
+		CondBranches: c.CondBranches - o.CondBranches,
+		Mispredicts:  c.Mispredicts - o.Mispredicts,
+		Loads:        c.Loads - o.Loads,
+		Stores:       c.Stores - o.Stores,
+		L1IMisses:    c.L1IMisses - o.L1IMisses,
+		L1DMisses:    c.L1DMisses - o.L1DMisses,
+		LSQFull:      c.LSQFull - o.LSQFull,
+		MSHRFull:     c.MSHRFull - o.MSHRFull,
+		FetchStalls:  c.FetchStalls - o.FetchStalls,
+		Syscalls:     c.Syscalls - o.Syscalls,
+	}
+}
+
+// L1Misses returns combined instruction- and data-cache misses, the
+// quantity the L1MISSCOUNT policy and COND_MEM threshold use.
+func (c Counters) L1Misses() uint64 { return c.L1IMisses + c.L1DMisses }
+
+// MemOps returns loads + stores.
+func (c Counters) MemOps() uint64 { return c.Loads + c.Stores }
+
+// Gauges are live occupancy indicators, kept exact by the pipeline as
+// instructions move between stages. Fetch policies prioritise on them.
+type Gauges struct {
+	PreIssue int // instructions in fetch buffer + instruction queues (ICOUNT's count)
+	IQ       int // instructions waiting in the INT+FP instruction queues
+	Branches int // unresolved control instructions in flight
+	Loads    int // loads in flight (issued or waiting)
+	Mem      int // loads + stores in flight
+	DMissOut int // outstanding L1D misses
+	IMissOut int // outstanding L1I miss (0/1: fetch blocks on it)
+	Stalled  int // consecutive cycles the oldest ROB entry has not committed
+	ROB      int // occupied reorder-buffer entries
+	LSQ      int // occupied load/store-queue entries owned by this thread
+}
+
+// MissOut returns combined outstanding L1 misses (L1MISSCOUNT's count).
+func (g Gauges) MissOut() int { return g.DMissOut + g.IMissOut }
+
+// Flags are the per-thread control flags the detector thread writes and
+// the thread selection unit honours (paper §3: "A flag may tell whether a
+// thread can be fetched in the next cycle while another flag may tell
+// whether it should be context-switched in the next opportunity").
+type Flags struct {
+	// FetchDisabled excludes the thread from fetch-slot arbitration.
+	FetchDisabled bool
+	// Clogging marks the thread for the job scheduler as pipeline-
+	// clogging, so a loaded system thread "can suspend a clogging thread
+	// without going through the process of determining which thread to
+	// suspend" (§4).
+	Clogging bool
+}
+
+// State is the full per-thread view a fetch policy or the detector thread
+// sees: cumulative counters, the running quantum's counters, live gauges,
+// control flags, and accumulated IPC.
+type State struct {
+	Cum     Counters
+	Quantum Counters
+	Live    Gauges
+	Flags   Flags
+	// AccIPC is the thread's accumulated committed IPC over the run so
+	// far (the ACCIPC policy's key).
+	AccIPC float64
+	// QuantumStalls counts cycles in the current quantum in which the
+	// thread had instructions in flight but committed nothing
+	// (STALLCOUNT's key).
+	QuantumStalls uint64
+}
+
+// TotalInFlight returns the number of instructions the thread currently
+// holds anywhere in the pipeline, a sanity quantity used by invariant
+// tests and clog detection.
+func (s *State) TotalInFlight() int { return s.Live.ROB + s.Live.PreIssue - s.Live.IQ }

@@ -1,0 +1,52 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubRoundtrip(t *testing.T) {
+	f := func(a, b Counters) bool {
+		sum := a
+		sum.Add(b)
+		return sum.Sub(a) == b && sum.Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubSelfIsZero(t *testing.T) {
+	f := func(a Counters) bool {
+		return a.Sub(a) == (Counters{})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerivedCounts(t *testing.T) {
+	c := Counters{L1IMisses: 3, L1DMisses: 7, Loads: 11, Stores: 5}
+	if c.L1Misses() != 10 {
+		t.Fatalf("L1Misses = %d", c.L1Misses())
+	}
+	if c.MemOps() != 16 {
+		t.Fatalf("MemOps = %d", c.MemOps())
+	}
+}
+
+func TestGaugesMissOut(t *testing.T) {
+	g := Gauges{DMissOut: 2, IMissOut: 1}
+	if g.MissOut() != 3 {
+		t.Fatalf("MissOut = %d", g.MissOut())
+	}
+}
+
+func TestTotalInFlight(t *testing.T) {
+	// 5 in the fetch buffer (PreIssue counts IFQ + IQ; IQ is 3 of them),
+	// 10 in the ROB: in flight = IFQ (2) + ROB (10).
+	s := State{Live: Gauges{PreIssue: 5, IQ: 3, ROB: 10}}
+	if got := s.TotalInFlight(); got != 12 {
+		t.Fatalf("TotalInFlight = %d, want 12", got)
+	}
+}

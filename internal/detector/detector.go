@@ -1,0 +1,440 @@
+// Package detector implements the software architecture of the ADTS
+// detector thread (paper §4): per-quantum low-throughput detection,
+// identification of clogging threads, and determination of the fetch
+// policy for the next scheduling quantum under the five heuristics the
+// paper evaluates (Type 1, 2, 3, 3′ and 4).
+//
+// The detector is a functional model, exactly as in the paper: its
+// decisions are computed here, while its execution cost (instructions
+// run in leftover pipeline slots, delaying the policy switch) is modelled
+// by pipeline.Machine.ScheduleDetectorJob.
+package detector
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Heuristic selects the policy-determination algorithm.
+type Heuristic int
+
+// The five heuristics of §4.3.2. Type3G is the paper's "Type 3′":
+// Type 3 plus the throughput-gradient guard; Type 4 adds the
+// switching-history buffer on top of Type 3′.
+const (
+	Type1 Heuristic = iota
+	Type2
+	Type3
+	Type3G
+	Type4
+	NumHeuristics
+)
+
+var heuristicNames = [NumHeuristics]string{"Type 1", "Type 2", "Type 3", "Type 3'", "Type 4"}
+
+func (h Heuristic) String() string {
+	if int(h) < len(heuristicNames) {
+		return heuristicNames[h]
+	}
+	return fmt.Sprintf("heuristic(%d)", int(h))
+}
+
+// AllHeuristics returns the five heuristics in paper order.
+func AllHeuristics() []Heuristic {
+	return []Heuristic{Type1, Type2, Type3, Type3G, Type4}
+}
+
+// ParseHeuristic accepts "Type 1".."Type 4", "Type 3'" and the compact
+// forms "1".."4", "3'", "3g".
+func ParseHeuristic(s string) (Heuristic, error) {
+	switch s {
+	case "Type 1", "1", "type1":
+		return Type1, nil
+	case "Type 2", "2", "type2":
+		return Type2, nil
+	case "Type 3", "3", "type3":
+		return Type3, nil
+	case "Type 3'", "3'", "3g", "type3'", "type3g":
+		return Type3G, nil
+	case "Type 4", "4", "type4":
+		return Type4, nil
+	}
+	return 0, fmt.Errorf("detector: unknown heuristic %q", s)
+}
+
+// Config parameterises the detector. Zero values are invalid; use
+// DefaultConfig and override.
+type Config struct {
+	// Quantum is the scheduling quantum in cycles (§4: 8K cycles).
+	Quantum int64
+	// IPCThreshold is the committed-IPC threshold below which a quantum
+	// is declared low-throughput (the paper's m, swept 1..5).
+	IPCThreshold float64
+	// Heuristic selects the policy-determination algorithm.
+	Heuristic Heuristic
+	// InitialPolicy is the default incumbent (the paper uses ICOUNT).
+	InitialPolicy policy.Policy
+
+	// COND_MEM thresholds (§4.3.2): true when the L1 miss rate exceeds
+	// CondMemL1Rate misses/cycle OR the load/store queue fills more
+	// often than CondMemLSQRate times/cycle.
+	CondMemL1Rate  float64
+	CondMemLSQRate float64
+	// COND_BR thresholds: true when branch mispredictions exceed
+	// CondBrMispRate/cycle OR conditional branches exceed
+	// CondBrRate branches/cycle.
+	CondBrMispRate float64
+	CondBrRate     float64
+
+	// CloggingFactor marks a thread as clogging when its pre-issue
+	// occupancy exceeds this multiple of the fair share.
+	CloggingFactor float64
+	// FairShare is the per-thread fair share of pre-issue resources
+	// (fetch buffer + instruction queues, divided by thread count).
+	FairShare float64
+}
+
+// DefaultConfig returns the paper's parameters for n threads: an 8K-cycle
+// quantum, threshold m = 2, Type 3, and the simulation-derived condition
+// thresholds of §4.3.2.
+func DefaultConfig(n int) Config {
+	return Config{
+		Quantum:        8192,
+		IPCThreshold:   2,
+		Heuristic:      Type3,
+		InitialPolicy:  policy.ICOUNT,
+		CondMemL1Rate:  0.19,
+		CondMemLSQRate: 0.45,
+		CondBrMispRate: 0.02,
+		CondBrRate:     0.38,
+		CloggingFactor: 2.0,
+		FairShare:      96.0 / float64(n), // IFQ(32) + INT IQ(32) + FP IQ(32)
+	}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Quantum <= 0:
+		return fmt.Errorf("detector: Quantum must be positive")
+	case c.IPCThreshold < 0:
+		return fmt.Errorf("detector: IPCThreshold must be >= 0")
+	case c.Heuristic < 0 || c.Heuristic >= NumHeuristics:
+		return fmt.Errorf("detector: unknown heuristic %d", c.Heuristic)
+	case c.CloggingFactor <= 0 || c.FairShare <= 0:
+		return fmt.Errorf("detector: clogging parameters must be positive")
+	}
+	return nil
+}
+
+// ThreadQuantum is one thread's view of the last quantum, read from the
+// per-thread status indicators.
+type ThreadQuantum struct {
+	Committed uint64
+	PreIssue  int // pre-issue occupancy snapshot at quantum end
+}
+
+// QuantumStats is what the detector thread reads from the status
+// counters at the end of a scheduling quantum. All rates are per cycle
+// over the quantum, aggregated across threads.
+type QuantumStats struct {
+	Cycles      int64
+	Committed   uint64
+	IPC         float64
+	L1MissRate  float64 // (L1I + L1D misses) / cycle
+	LSQFullRate float64 // LSQ-full dispatch blocks / cycle
+	MispredRate float64 // resolved mispredictions / cycle
+	CondBrRate  float64 // committed conditional branches / cycle
+	PerThread   []ThreadQuantum
+}
+
+// CondMem evaluates COND_MEM against the configured thresholds.
+func (c Config) CondMem(q QuantumStats) bool {
+	return q.L1MissRate > c.CondMemL1Rate || q.LSQFullRate > c.CondMemLSQRate
+}
+
+// CondBr evaluates COND_BR against the configured thresholds.
+func (c Config) CondBr(q QuantumStats) bool {
+	return q.MispredRate > c.CondBrMispRate || q.CondBrRate > c.CondBrRate
+}
+
+// Decision is the detector's output for one quantum boundary.
+type Decision struct {
+	LowThroughput bool
+	// Switch requests engaging NewPolicy for the next quantum.
+	Switch    bool
+	NewPolicy policy.Policy
+	// Clogging flags threads the job scheduler should suspend first.
+	Clogging []bool
+	// Work is the detector-thread instruction budget this decision
+	// costs (monitoring + clog identification + policy determination).
+	Work int
+}
+
+// histEntry is one switching-history bucket (paper §4.3.2, Type 4):
+// outcomes of past switches keyed by (incumbent, condition value).
+type histEntry struct {
+	pos, neg uint32
+}
+
+// condBits packs the two condition values into a history key.
+func condBits(mem, br bool) int {
+	k := 0
+	if mem {
+		k |= 1
+	}
+	if br {
+		k |= 2
+	}
+	return k
+}
+
+// Stats accumulates switch bookkeeping for Figure 7.
+type Stats struct {
+	Quanta        uint64
+	LowQuanta     uint64 // quanta flagged low-throughput
+	Switches      uint64 // policy switches decided
+	Benign        uint64 // switches followed by a throughput increase
+	Malignant     uint64 // switches followed by a decrease (or no change)
+	GradientHolds uint64 // Type 3'/4: switches suppressed by positive gradient
+	Reversals     uint64 // Type 4: history-directed opposite transitions
+}
+
+// BenignProbability returns Benign / (Benign + Malignant), the paper's
+// "quality of a switch"; zero when no switch has been scored yet.
+func (s Stats) BenignProbability() float64 {
+	t := s.Benign + s.Malignant
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Benign) / float64(t)
+}
+
+// Detector is the ADTS decision engine. It is deterministic plain data;
+// Clone yields an independent copy.
+type Detector struct {
+	cfg       Config
+	incumbent policy.Policy
+
+	prevIPC  float64
+	havePrev bool
+
+	// Pending switch-quality evaluation: a switch decided at IPC
+	// baseIPC is scored benign iff the next quantum's IPC exceeds it.
+	evalPending bool
+	evalBaseIPC float64
+	// Pending Type 4 history update for the same event.
+	histPending bool
+	histPolicy  policy.Policy
+	histCond    int
+
+	hist  [policy.NumPolicies][4]histEntry
+	stats Stats
+
+	// Work budgets, configurable via SetWorkModel.
+	idleWork, clogWork, decideWork int
+}
+
+// New returns a detector with cfg and the default detector-thread work
+// model (256 idle / 512 clog-scan / 1024 decide instructions).
+func New(cfg Config) *Detector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Detector{
+		cfg:        cfg,
+		incumbent:  cfg.InitialPolicy,
+		idleWork:   256,
+		clogWork:   512,
+		decideWork: 1024,
+	}
+}
+
+// SetWorkModel overrides the detector-thread instruction budgets.
+func (d *Detector) SetWorkModel(idle, clog, decide int) {
+	d.idleWork, d.clogWork, d.decideWork = idle, clog, decide
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Incumbent returns the policy the detector believes is engaged.
+func (d *Detector) Incumbent() policy.Policy { return d.incumbent }
+
+// Stats returns the accumulated switch statistics.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Clone returns an independent deep copy.
+func (d *Detector) Clone() *Detector {
+	cp := *d
+	return &cp
+}
+
+// OnQuantumEnd runs the detector thread's main loop body (Figure 3) for
+// one quantum boundary: score any pending switch, test IPC against the
+// threshold, and — on a low-throughput quantum — identify clogging
+// threads and determine the next fetch policy.
+func (d *Detector) OnQuantumEnd(q QuantumStats) Decision {
+	d.stats.Quanta++
+
+	// Score the previous quantum's switch: benign iff throughput rose.
+	if d.evalPending {
+		d.evalPending = false
+		benign := q.IPC > d.evalBaseIPC
+		if benign {
+			d.stats.Benign++
+		} else {
+			d.stats.Malignant++
+		}
+		if d.histPending {
+			d.histPending = false
+			e := &d.hist[d.histPolicy][d.histCond]
+			if benign {
+				e.pos++
+			} else {
+				e.neg++
+			}
+		}
+	}
+
+	dec := Decision{Work: d.idleWork}
+
+	low := q.IPC < d.cfg.IPCThreshold
+	gradient := d.havePrev && q.IPC > d.prevIPC
+	d.havePrev = true
+	d.prevIPC = q.IPC
+
+	if !low {
+		return dec
+	}
+	dec.LowThroughput = true
+	d.stats.LowQuanta++
+
+	// Identify_CloggingThreads (Figure 3): mark threads hogging the
+	// pre-issue resources so the job scheduler can suspend them without
+	// analysis of its own.
+	dec.Clogging = make([]bool, len(q.PerThread))
+	limit := d.cfg.CloggingFactor * d.cfg.FairShare
+	for i, tq := range q.PerThread {
+		dec.Clogging[i] = float64(tq.PreIssue) > limit
+	}
+	dec.Work += d.clogWork
+
+	// Gradient guard (Type 3' and Type 4): while throughput is already
+	// recovering, keep the incumbent.
+	if (d.cfg.Heuristic == Type3G || d.cfg.Heuristic == Type4) && gradient {
+		d.stats.GradientHolds++
+		return dec
+	}
+
+	next, reversed := d.determine(q)
+	dec.Work += d.decideWork
+	if next == d.incumbent {
+		return dec
+	}
+
+	dec.Switch = true
+	dec.NewPolicy = next
+	d.stats.Switches++
+	if reversed {
+		d.stats.Reversals++
+	}
+
+	d.evalPending = true
+	d.evalBaseIPC = q.IPC
+	if d.cfg.Heuristic == Type4 {
+		d.histPending = true
+		d.histPolicy = d.incumbent
+		d.histCond = condBits(d.cfg.CondMem(q), d.cfg.CondBr(q))
+	}
+	d.incumbent = next
+	return dec
+}
+
+// determine implements Determine_NewPolicy for the configured heuristic.
+// reversed reports a Type 4 history-directed opposite transition.
+func (d *Detector) determine(q QuantumStats) (next policy.Policy, reversed bool) {
+	switch d.cfg.Heuristic {
+	case Type1:
+		return d.type1(), false
+	case Type2:
+		return d.type2(), false
+	case Type3, Type3G:
+		reg, _ := d.type3(q)
+		return reg, false
+	case Type4:
+		return d.type4(q)
+	default:
+		panic("detector: unknown heuristic")
+	}
+}
+
+// type1 (Figure 4): unconditional toggle ICOUNT <-> BRCOUNT.
+func (d *Detector) type1() policy.Policy {
+	if d.incumbent == policy.ICOUNT {
+		return policy.BRCOUNT
+	}
+	return policy.ICOUNT
+}
+
+// type2 (Figure 5): cycle ICOUNT -> L1MISSCOUNT -> BRCOUNT -> ICOUNT.
+func (d *Detector) type2() policy.Policy {
+	switch d.incumbent {
+	case policy.ICOUNT:
+		return policy.L1MISSCOUNT
+	case policy.L1MISSCOUNT:
+		return policy.BRCOUNT
+	default:
+		return policy.ICOUNT
+	}
+}
+
+// type3 (Figure 6): condition-directed FSM over {ICOUNT, BRCOUNT,
+// L1MISSCOUNT}. It returns the regular transition and its opposite (the
+// alternative destination Type 4 uses for reversals).
+func (d *Detector) type3(q QuantumStats) (regular, opposite policy.Policy) {
+	mem := d.cfg.CondMem(q)
+	br := d.cfg.CondBr(q)
+	switch d.incumbent {
+	case policy.BRCOUNT:
+		// BRCOUNT failed: the imbalance is not in branches.
+		if mem {
+			return policy.L1MISSCOUNT, policy.ICOUNT
+		}
+		return policy.ICOUNT, policy.L1MISSCOUNT
+	case policy.L1MISSCOUNT:
+		// L1MISSCOUNT failed: the imbalance is not in memory.
+		if br {
+			return policy.BRCOUNT, policy.ICOUNT
+		}
+		return policy.ICOUNT, policy.BRCOUNT
+	default: // ICOUNT (or any other incumbent): route by symptom.
+		// Figure 6 leaves the both-conditions-true order unspecified;
+		// we check COND_MEM first — memory imbalance holds shared
+		// resources (LSQ, rename registers, queue slots) for tens of
+		// cycles, so it is the costlier symptom to leave unaddressed.
+		if mem {
+			return policy.L1MISSCOUNT, policy.BRCOUNT
+		}
+		if br {
+			return policy.BRCOUNT, policy.L1MISSCOUNT
+		}
+		return policy.ICOUNT, policy.ICOUNT // no symptom: keep the all-rounder
+	}
+}
+
+// type4: Type 3 routing, but consult the switching-history buffer first;
+// when past outcomes for (incumbent, condition value) are not net
+// positive, take the opposite transition (§4.3.2).
+func (d *Detector) type4(q QuantumStats) (policy.Policy, bool) {
+	regular, opposite := d.type3(q)
+	if regular == d.incumbent {
+		return regular, false
+	}
+	e := d.hist[d.incumbent][condBits(d.cfg.CondMem(q), d.cfg.CondBr(q))]
+	if e.pos+e.neg > 0 && e.pos <= e.neg {
+		return opposite, true
+	}
+	return regular, false
+}

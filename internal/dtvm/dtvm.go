@@ -1,0 +1,277 @@
+// Package dtvm is the programmable detector thread: a tiny register
+// virtual machine in which the ADTS decision kernels are written as
+// software, reproducing the paper's central implementation argument —
+// "although the per-thread status indicators, thread control flags and
+// thread selection units are fixed in hardware, we can control the
+// thread control behavior around those hardware resources by writing a
+// different program code for the detector thread" (§4), with the kernel
+// structure of Figure 3 (East: ... IPC < threshold -> Identify_Clogging
+// -> Determine_NewPolicy -> Policy_Switch).
+//
+// A Program is assembled from a small textual ISA. Executing it against
+// a QuantumStats snapshot yields the same Decision the functional
+// internal/detector model produces — plus the *measured* instruction
+// count, which feeds pipeline.Machine.ScheduleDetectorJob so the policy
+// switch lands only when the detector thread's leftover-slot execution
+// finishes: the cost model stops being an estimate and becomes the cost
+// of the actual kernel.
+package dtvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a VM opcode.
+type Op uint8
+
+// The instruction set. The DT's data accesses are "mostly to special
+// registers such as the per-thread counters" (§3): LOADC reads the
+// hardware status-counter file, the ALU ops work on 16 general
+// registers, SETPOL/SETCLOG write the thread-control interface.
+const (
+	OpNop     Op = iota
+	OpLoadC      // loadc rD, counter       rD = counters[counter]
+	OpLoadI      // loadi rD, imm            rD = imm (fixed-point 1/1000)
+	OpLoadT      // loadt rD, counter, rI    rD = perThread[rI].counter
+	OpMov        // mov rD, rS
+	OpAdd        // add rD, rS
+	OpSub        // sub rD, rS
+	OpMul        // mul rD, rS               (fixed-point)
+	OpDiv        // div rD, rS               (fixed-point; 0 divisor -> 0)
+	OpBlt        // blt rA, rB, label        branch if rA < rB
+	OpBge        // bge rA, rB, label
+	OpBeq        // beq rA, rB, label
+	OpJmp        // jmp label
+	OpSetPol     // setpol name              request policy switch
+	OpKeep       // keep                     explicit no-switch
+	OpSetClog    // setclog rI               flag thread rI as clogging
+	OpHalt       // halt
+	numOps
+)
+
+// Counter names the special registers LOADC can read: per-quantum
+// aggregate rates in fixed-point thousandths, plus scalar state.
+type Counter uint8
+
+// The special-register file.
+const (
+	CtrIPC         Counter = iota // committed IPC x1000
+	CtrL1Miss                     // L1 misses/cycle x1000
+	CtrLSQFull                    // LSQ-full events/cycle x1000
+	CtrMispred                    // mispredicts/cycle x1000
+	CtrCondBr                     // conditional branches/cycle x1000
+	CtrPrevIPC                    // previous quantum's IPC x1000 (gradient)
+	CtrIncumbent                  // current policy id
+	CtrNumThreads                 // hardware contexts
+	CtrThPreIssue                 // per-thread: pre-issue occupancy (LOADT)
+	CtrThCommitted                // per-thread: committed this quantum (LOADT)
+	numCounters
+)
+
+var counterNames = map[string]Counter{
+	"ipc": CtrIPC, "l1miss": CtrL1Miss, "lsqfull": CtrLSQFull,
+	"mispred": CtrMispred, "condbr": CtrCondBr, "previpc": CtrPrevIPC,
+	"incumbent": CtrIncumbent, "nthreads": CtrNumThreads,
+	"th.preissue": CtrThPreIssue, "th.committed": CtrThCommitted,
+}
+
+// Inst is one assembled VM instruction.
+type Inst struct {
+	Op      Op
+	RD, RS  uint8
+	Ctr     Counter
+	Imm     int64
+	Target  int // resolved branch target
+	PolName string
+}
+
+// Program is an assembled detector-thread kernel.
+type Program struct {
+	Insts  []Inst
+	Source string
+	labels map[string]int
+}
+
+// NumRegs is the size of the VM register file.
+const NumRegs = 16
+
+// MaxSteps bounds one activation; a kernel that exceeds it is broken
+// (the real DT must fit its cycle budget).
+const MaxSteps = 16384
+
+// Assemble parses the textual form. Syntax, one instruction per line:
+//
+//	; comment
+//	label:
+//	loadc r1, ipc
+//	loadi r2, 2000          ; 2.000 in fixed-point
+//	blt   r1, r2, low
+//	keep
+//	halt
+//	low:
+//	setpol L1MISSCOUNT
+//	halt
+func Assemble(src string) (*Program, error) {
+	p := &Program{Source: src, labels: map[string]int{}}
+	type fixup struct {
+		inst  int
+		label string
+		line  int
+	}
+	var fixups []fixup
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if _, dup := p.labels[label]; dup {
+				return nil, fmt.Errorf("dtvm: line %d: duplicate label %q", ln+1, label)
+			}
+			p.labels[label] = len(p.Insts)
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		op := strings.ToLower(fields[0])
+		args := fields[1:]
+		inst := Inst{}
+		bad := func(msg string) error {
+			return fmt.Errorf("dtvm: line %d: %s: %q", ln+1, msg, raw)
+		}
+		reg := func(s string) (uint8, error) {
+			if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+				return 0, bad("expected register")
+			}
+			v, err := strconv.Atoi(s[1:])
+			if err != nil || v < 0 || v >= NumRegs {
+				return 0, bad("bad register")
+			}
+			return uint8(v), nil
+		}
+		need := func(n int) error {
+			if len(args) != n {
+				return bad(fmt.Sprintf("expected %d operands", n))
+			}
+			return nil
+		}
+		var err error
+		switch op {
+		case "nop":
+			inst.Op = OpNop
+		case "halt":
+			inst.Op = OpHalt
+		case "keep":
+			inst.Op = OpKeep
+		case "loadc":
+			if err = need(2); err == nil {
+				inst.Op = OpLoadC
+				if inst.RD, err = reg(args[0]); err == nil {
+					ctr, ok := counterNames[strings.ToLower(args[1])]
+					if !ok {
+						err = bad("unknown counter")
+					}
+					inst.Ctr = ctr
+				}
+			}
+		case "loadt":
+			if err = need(3); err == nil {
+				inst.Op = OpLoadT
+				if inst.RD, err = reg(args[0]); err == nil {
+					ctr, ok := counterNames[strings.ToLower(args[1])]
+					if !ok {
+						err = bad("unknown counter")
+					}
+					inst.Ctr = ctr
+					if err == nil {
+						inst.RS, err = reg(args[2])
+					}
+				}
+			}
+		case "loadi":
+			if err = need(2); err == nil {
+				inst.Op = OpLoadI
+				if inst.RD, err = reg(args[0]); err == nil {
+					inst.Imm, err = strconv.ParseInt(args[1], 10, 64)
+					if err != nil {
+						err = bad("bad immediate")
+					}
+				}
+			}
+		case "mov", "add", "sub", "mul", "div":
+			if err = need(2); err == nil {
+				switch op {
+				case "mov":
+					inst.Op = OpMov
+				case "add":
+					inst.Op = OpAdd
+				case "sub":
+					inst.Op = OpSub
+				case "mul":
+					inst.Op = OpMul
+				case "div":
+					inst.Op = OpDiv
+				}
+				if inst.RD, err = reg(args[0]); err == nil {
+					inst.RS, err = reg(args[1])
+				}
+			}
+		case "blt", "bge", "beq":
+			if err = need(3); err == nil {
+				switch op {
+				case "blt":
+					inst.Op = OpBlt
+				case "bge":
+					inst.Op = OpBge
+				case "beq":
+					inst.Op = OpBeq
+				}
+				if inst.RD, err = reg(args[0]); err == nil {
+					if inst.RS, err = reg(args[1]); err == nil {
+						fixups = append(fixups, fixup{len(p.Insts), args[2], ln + 1})
+					}
+				}
+			}
+		case "jmp":
+			if err = need(1); err == nil {
+				inst.Op = OpJmp
+				fixups = append(fixups, fixup{len(p.Insts), args[0], ln + 1})
+			}
+		case "setpol":
+			if err = need(1); err == nil {
+				inst.Op = OpSetPol
+				inst.PolName = args[0]
+			}
+		case "setclog":
+			if err = need(1); err == nil {
+				inst.Op = OpSetClog
+				inst.RS, err = reg(args[0])
+			}
+		default:
+			err = bad("unknown opcode")
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.Insts = append(p.Insts, inst)
+	}
+	for _, f := range fixups {
+		tgt, ok := p.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("dtvm: line %d: undefined label %q", f.line, f.label)
+		}
+		p.Insts[f.inst].Target = tgt
+	}
+	if len(p.Insts) == 0 {
+		return nil, fmt.Errorf("dtvm: empty program")
+	}
+	return p, nil
+}

@@ -1,0 +1,260 @@
+package dtvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/detector"
+	"repro/internal/policy"
+)
+
+func q(ipc float64, condMem, condBr bool) detector.QuantumStats {
+	s := detector.QuantumStats{
+		Cycles:    8192,
+		IPC:       ipc,
+		PerThread: make([]detector.ThreadQuantum, 8),
+	}
+	if condMem {
+		s.L1MissRate = 0.5
+	}
+	if condBr {
+		s.MispredRate = 0.05
+	}
+	return s
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"",                     // empty
+		"bogus r1, r2",         // unknown opcode
+		"loadc r99, ipc\nhalt", // bad register
+		"loadc r1, nope\nhalt", // unknown counter
+		"jmp nowhere\nhalt",    // undefined label
+		"x:\nx:\nhalt",         // duplicate label
+		"loadi r1\nhalt",       // operand count
+		"loadi r1, zz\nhalt",   // bad immediate
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid program %q", src)
+		}
+	}
+}
+
+func TestArithmeticAndBranches(t *testing.T) {
+	// Compute (3.0 * 2.0) / 4.0 = 1.5 in fixed-point and branch on it.
+	src := `
+    loadi r1, 3000
+    loadi r2, 2000
+    mul   r1, r2        ; 6.000
+    loadi r2, 4000
+    div   r1, r2        ; 1.500
+    loadi r2, 1500
+    beq   r1, r2, yes
+    setpol BRCOUNT
+    halt
+yes:
+    setpol L1MISSCOUNT
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Exec(q(1, false, false), policy.ICOUNT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Switch || out.NewPolicy != policy.L1MISSCOUNT {
+		t.Fatalf("fixed-point arithmetic broke: %+v", out)
+	}
+}
+
+func TestInfiniteLoopCaught(t *testing.T) {
+	p, err := Assemble("spin:\njmp spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(q(1, false, false), policy.ICOUNT, 0); err == nil {
+		t.Fatal("runaway kernel not caught")
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	p, err := Assemble(`
+    loadi r1, 5000
+    loadi r2, 0
+    div   r1, r2
+    loadi r2, 0
+    beq   r1, r2, ok
+    setpol BRCOUNT
+    halt
+ok:
+    keep
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Exec(q(1, false, false), policy.ICOUNT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Switch {
+		t.Fatal("div by zero should yield 0, not garbage")
+	}
+}
+
+func TestType1KernelTogglesLikeFunctionalModel(t *testing.T) {
+	p, err := Assemble(Type1Source(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(p)
+
+	cfg := detector.DefaultConfig(8)
+	cfg.Heuristic = detector.Type1
+	ref := detector.New(cfg)
+
+	for i := 0; i < 20; i++ {
+		ipc := 0.5
+		if i%5 == 4 {
+			ipc = 3.0 // occasional healthy quantum
+		}
+		qs := q(ipc, false, false)
+		got, err := r.OnQuantumEnd(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.OnQuantumEnd(qs)
+		if got.Switch != want.Switch {
+			t.Fatalf("step %d: kernel switch=%t, functional model switch=%t", i, got.Switch, want.Switch)
+		}
+		if got.Switch && got.NewPolicy != want.NewPolicy {
+			t.Fatalf("step %d: kernel -> %v, functional -> %v", i, got.NewPolicy, want.NewPolicy)
+		}
+	}
+	if r.Switches == 0 {
+		t.Fatal("Type 1 kernel never switched under sustained low throughput")
+	}
+}
+
+// TestType3KernelMatchesFunctionalModel: the assembled Figure 6 FSM must
+// make the same routing decisions as the functional detector, for every
+// combination of incumbent and condition values.
+func TestType3KernelMatchesFunctionalModel(t *testing.T) {
+	cfg := detector.DefaultConfig(8)
+	cfg.Heuristic = detector.Type3
+	p, err := Assemble(Type3Source(cfg, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ipcRaw uint8, condMem, condBr bool) bool {
+		ipc := float64(ipcRaw%45) / 10
+		r := NewRunner(p)
+		ref := detector.New(cfg)
+		// Drive both through an identical 3-quantum history.
+		for _, qq := range []detector.QuantumStats{
+			q(0.5, condBr, condMem), // scrambled warmup
+			q(ipc, condMem, condBr),
+			q(ipc/2, condMem, condBr),
+		} {
+			got, err := r.OnQuantumEnd(qq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.OnQuantumEnd(qq)
+			if got.Switch != want.Switch {
+				return false
+			}
+			if got.Switch && got.NewPolicy != want.NewPolicy {
+				return false
+			}
+			if r.Incumbent() != ref.Incumbent() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestType3KernelClogScan(t *testing.T) {
+	cfg := detector.DefaultConfig(8)
+	p, err := Assemble(Type3Source(cfg, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := q(0.5, true, false)
+	qs.PerThread[3].PreIssue = 30
+	qs.PerThread[6].PreIssue = 25
+	qs.PerThread[0].PreIssue = 10
+	out, err := p.Exec(qs, policy.ICOUNT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Clogging[3] || !out.Clogging[6] || out.Clogging[0] {
+		t.Fatalf("clog scan wrong: %v", out.Clogging)
+	}
+	// The scan costs real instructions: more than the no-scan path.
+	healthy, _ := p.Exec(q(5, false, false), policy.ICOUNT, 0)
+	if out.Steps <= healthy.Steps {
+		t.Fatalf("clog scan free? low=%d healthy=%d steps", out.Steps, healthy.Steps)
+	}
+}
+
+// TestKernelWorkWithinBudget: the paper argues the DT job "can fit
+// within the cycle budget allowed in realistic situations" — the
+// Type 3 kernel must run in well under one quantum of instructions.
+func TestKernelWorkWithinBudget(t *testing.T) {
+	cfg := detector.DefaultConfig(8)
+	p, err := Assemble(Type3Source(cfg, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Exec(q(0.1, true, true), policy.ICOUNT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Steps > 200 {
+		t.Fatalf("Type 3 kernel took %d instructions; budget blown", out.Steps)
+	}
+}
+
+func TestSetPolToIncumbentIsKeep(t *testing.T) {
+	p, err := Assemble("setpol ICOUNT\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Exec(q(1, false, false), policy.ICOUNT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Switch || !out.Keep {
+		t.Fatalf("setpol to incumbent must be a keep: %+v", out)
+	}
+}
+
+func TestCommentsAndLabels(t *testing.T) {
+	p, err := Assemble(`
+; full-line comment
+start:              ; label with trailing comment
+    nop             ; inline comment
+    jmp end
+    setpol BRCOUNT  ; dead code
+end:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Exec(q(1, false, false), policy.ICOUNT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Switch {
+		t.Fatal("dead code executed")
+	}
+}

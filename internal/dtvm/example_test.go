@@ -1,0 +1,46 @@
+package dtvm_test
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/dtvm"
+	"repro/internal/policy"
+)
+
+// ExampleAssemble writes a minimal detector kernel, executes it against
+// one quantum snapshot, and prints its decision and measured cost.
+func ExampleAssemble() {
+	prog, err := dtvm.Assemble(`
+; switch to L1MISSCOUNT when throughput is low and the memory symptom fires
+east:
+    loadc r1, ipc
+    loadi r2, 2000
+    bge   r1, r2, ok
+    loadc r3, l1miss
+    loadi r4, 190
+    bge   r3, r4, mem
+ok:
+    keep
+    halt
+mem:
+    setpol L1MISSCOUNT
+    halt
+`)
+	if err != nil {
+		panic(err)
+	}
+	q := detector.QuantumStats{IPC: 0.7, L1MissRate: 0.3, PerThread: make([]detector.ThreadQuantum, 8)}
+	out, err := prog.Exec(q, policy.ICOUNT, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("switch:", out.Switch, "to", out.NewPolicy)
+	fmt.Println("instructions executed:", out.Steps)
+	// The instruction count is checked exactly: a kernel's cost is part
+	// of its contract with the leftover-slot execution model.
+
+	// Output:
+	// switch: true to L1MISSCOUNT
+	// instructions executed: 8
+}

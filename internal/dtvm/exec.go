@@ -1,0 +1,138 @@
+package dtvm
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/policy"
+)
+
+// Result is one kernel activation's output.
+type Result struct {
+	// Switch and NewPolicy mirror detector.Decision.
+	Switch    bool
+	NewPolicy policy.Policy
+	Keep      bool // the kernel explicitly decided not to switch
+	// Clogging flags per thread.
+	Clogging []bool
+	// Steps is the number of VM instructions executed — the measured
+	// detector-thread work, fed to the pipeline's leftover-slot model.
+	Steps int
+}
+
+// fix converts a rate to the VM's fixed-point thousandths.
+func fix(v float64) int64 { return int64(v * 1000) }
+
+// Exec runs the kernel once against a quantum snapshot. incumbent is the
+// currently engaged policy, prevIPC the previous quantum's IPC (for
+// gradient kernels).
+func (p *Program) Exec(q detector.QuantumStats, incumbent policy.Policy, prevIPC float64) (Result, error) {
+	var regs [NumRegs]int64
+	res := Result{Clogging: make([]bool, len(q.PerThread))}
+
+	readC := func(c Counter) int64 {
+		switch c {
+		case CtrIPC:
+			return fix(q.IPC)
+		case CtrL1Miss:
+			return fix(q.L1MissRate)
+		case CtrLSQFull:
+			return fix(q.LSQFullRate)
+		case CtrMispred:
+			return fix(q.MispredRate)
+		case CtrCondBr:
+			return fix(q.CondBrRate)
+		case CtrPrevIPC:
+			return fix(prevIPC)
+		case CtrIncumbent:
+			return int64(incumbent)
+		case CtrNumThreads:
+			return int64(len(q.PerThread))
+		default:
+			return 0
+		}
+	}
+	readT := func(c Counter, tid int64) int64 {
+		if tid < 0 || tid >= int64(len(q.PerThread)) {
+			return 0
+		}
+		switch c {
+		case CtrThPreIssue:
+			return int64(q.PerThread[tid].PreIssue)
+		case CtrThCommitted:
+			return int64(q.PerThread[tid].Committed)
+		default:
+			return 0
+		}
+	}
+
+	pc := 0
+	for steps := 0; steps < MaxSteps; steps++ {
+		if pc < 0 || pc >= len(p.Insts) {
+			return res, fmt.Errorf("dtvm: pc %d out of range", pc)
+		}
+		in := p.Insts[pc]
+		res.Steps++
+		pc++
+		switch in.Op {
+		case OpNop:
+		case OpLoadC:
+			regs[in.RD] = readC(in.Ctr)
+		case OpLoadT:
+			regs[in.RD] = readT(in.Ctr, regs[in.RS])
+		case OpLoadI:
+			regs[in.RD] = in.Imm
+		case OpMov:
+			regs[in.RD] = regs[in.RS]
+		case OpAdd:
+			regs[in.RD] += regs[in.RS]
+		case OpSub:
+			regs[in.RD] -= regs[in.RS]
+		case OpMul:
+			regs[in.RD] = regs[in.RD] * regs[in.RS] / 1000
+		case OpDiv:
+			if regs[in.RS] == 0 {
+				regs[in.RD] = 0
+			} else {
+				regs[in.RD] = regs[in.RD] * 1000 / regs[in.RS]
+			}
+		case OpBlt:
+			if regs[in.RD] < regs[in.RS] {
+				pc = in.Target
+			}
+		case OpBge:
+			if regs[in.RD] >= regs[in.RS] {
+				pc = in.Target
+			}
+		case OpBeq:
+			if regs[in.RD] == regs[in.RS] {
+				pc = in.Target
+			}
+		case OpJmp:
+			pc = in.Target
+		case OpSetPol:
+			pol, err := policy.Parse(in.PolName)
+			if err != nil {
+				return res, err
+			}
+			if pol != incumbent {
+				res.Switch = true
+				res.NewPolicy = pol
+			} else {
+				res.Keep = true
+			}
+		case OpKeep:
+			res.Keep = true
+		case OpSetClog:
+			tid := regs[in.RS]
+			if tid >= 0 && tid < int64(len(res.Clogging)) {
+				res.Clogging[tid] = true
+			}
+		case OpHalt:
+			return res, nil
+		default:
+			return res, fmt.Errorf("dtvm: bad opcode %d", in.Op)
+		}
+	}
+	return res, fmt.Errorf("dtvm: kernel exceeded %d steps (missing halt?)", MaxSteps)
+}

@@ -1,0 +1,172 @@
+package dtvm
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/policy"
+)
+
+// Type1Source is the paper's simplest kernel (Figure 4): on a
+// low-throughput quantum, unconditionally toggle ICOUNT <-> BRCOUNT.
+// threshold is the IPC threshold m.
+func Type1Source(threshold float64) string {
+	return fmt.Sprintf(`; ADTS Type 1 kernel (Figure 4): unconditional toggle
+east:
+    loadc r1, ipc
+    loadi r2, %d            ; m (fixed-point x1000)
+    bge   r1, r2, ok        ; throughput fine: keep incumbent
+    loadc r3, incumbent
+    loadi r4, %d            ; ICOUNT
+    beq   r3, r4, tobr
+    setpol ICOUNT
+    halt
+tobr:
+    setpol BRCOUNT
+    halt
+ok:
+    keep
+    halt
+`, fix(threshold), int64(policy.ICOUNT))
+}
+
+// Type3Source is the condition-directed kernel of Figures 3 and 6,
+// including the Identify_CloggingThreads scan over the per-thread
+// status counters. cfg supplies the IPC threshold and the COND_MEM /
+// COND_BR sub-condition thresholds; clogLimit is the pre-issue
+// occupancy above which a thread is flagged.
+func Type3Source(cfg detector.Config, clogLimit int) string {
+	return fmt.Sprintf(`; ADTS Type 3 kernel (Figures 3 and 6)
+east:
+    loadc r1, ipc
+    loadi r2, %d            ; m
+    bge   r1, r2, ok
+
+; ---- Identify_CloggingThreads ----
+    loadi r3, 0             ; tid
+    loadc r4, nthreads
+    loadi r5, %d            ; clog pre-issue limit (plain count)
+    loadi r15, 1
+clogloop:
+    bge   r3, r4, decide
+    loadt r6, th.preissue, r3
+    blt   r6, r5, clognext
+    setclog r3
+clognext:
+    add   r3, r15
+    jmp   clogloop
+
+; ---- Determine_NewPolicy (Figure 6 FSM) ----
+decide:
+; condmem = l1miss > t1 || lsqfull > t2   -> r10 = 1/0
+    loadi r10, 0
+    loadc r6, l1miss
+    loadi r7, %d            ; COND_MEM L1 threshold
+    bge   r6, r7, memtrue0
+    loadc r6, lsqfull
+    loadi r7, %d            ; COND_MEM LSQ threshold
+    blt   r6, r7, memdone
+memtrue0:
+    loadi r10, 1
+memdone:
+; condbr = mispred > t3 || condbr > t4    -> r11 = 1/0
+    loadi r11, 0
+    loadc r6, mispred
+    loadi r7, %d            ; COND_BR mispredict threshold
+    bge   r6, r7, brtrue0
+    loadc r6, condbr
+    loadi r7, %d            ; COND_BR branch-rate threshold
+    blt   r6, r7, brdone
+brtrue0:
+    loadi r11, 1
+brdone:
+    loadi r14, 1
+    loadc r8, incumbent
+    loadi r9, %d            ; BRCOUNT
+    beq   r8, r9, frombr
+    loadi r9, %d            ; L1MISSCOUNT
+    beq   r8, r9, froml1
+; from ICOUNT: COND_MEM -> L1MISSCOUNT; else COND_BR -> BRCOUNT; else keep
+    beq   r10, r14, gol1
+    beq   r11, r14, gobr
+    keep
+    halt
+frombr:
+; from BRCOUNT: COND_MEM -> L1MISSCOUNT else ICOUNT
+    beq   r10, r14, gol1
+    setpol ICOUNT
+    halt
+froml1:
+; from L1MISSCOUNT: COND_BR -> BRCOUNT else ICOUNT
+    beq   r11, r14, gobr
+    setpol ICOUNT
+    halt
+gol1:
+    setpol L1MISSCOUNT
+    halt
+gobr:
+    setpol BRCOUNT
+    halt
+ok:
+    keep
+    halt
+`, fix(cfg.IPCThreshold), clogLimit,
+		fix(cfg.CondMemL1Rate), fix(cfg.CondMemLSQRate),
+		fix(cfg.CondBrMispRate), fix(cfg.CondBrRate),
+		int64(policy.BRCOUNT), int64(policy.L1MISSCOUNT))
+}
+
+// Runner drives an assembled kernel across quanta, tracking the
+// incumbent policy and the previous quantum's IPC exactly as the
+// hardware/software contract would: the kernel is stateless, the
+// special registers carry the state.
+type Runner struct {
+	Prog      *Program
+	incumbent policy.Policy
+	prevIPC   float64
+	// TotalSteps accumulates executed VM instructions, the DT's
+	// measured work.
+	TotalSteps uint64
+	Switches   uint64
+}
+
+// NewRunner wraps an assembled kernel, starting from ICOUNT.
+func NewRunner(p *Program) *Runner {
+	return &Runner{Prog: p, incumbent: policy.ICOUNT}
+}
+
+// Incumbent returns the policy the kernel currently believes engaged.
+func (r *Runner) Incumbent() policy.Policy { return r.incumbent }
+
+// OnQuantumEnd executes the kernel for one quantum snapshot and maps
+// its output onto a detector.Decision whose Work is the measured VM
+// instruction count.
+func (r *Runner) OnQuantumEnd(q detector.QuantumStats) (detector.Decision, error) {
+	out, err := r.Prog.Exec(q, r.incumbent, r.prevIPC)
+	r.prevIPC = q.IPC
+	if err != nil {
+		return detector.Decision{}, err
+	}
+	r.TotalSteps += uint64(out.Steps)
+	dec := detector.Decision{
+		LowThroughput: out.Switch || anyTrue(out.Clogging),
+		Switch:        out.Switch,
+		NewPolicy:     out.NewPolicy,
+		Clogging:      out.Clogging,
+		Work:          out.Steps,
+	}
+	if out.Switch {
+		r.incumbent = out.NewPolicy
+		r.Switches++
+	}
+	return dec, nil
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}

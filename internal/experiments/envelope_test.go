@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestEnvelopeAtLeastBaseline(t *testing.T) {
+	o := tiny()
+	o.Mixes = []string{"mixed-lowipc"}
+	res, err := RunEnvelope(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-quantum max over a set that includes ICOUNT can never be
+	// below ICOUNT itself.
+	if res.EnvelopeIPC < res.BaselineIPC {
+		t.Fatalf("envelope %.3f below its own baseline %.3f", res.EnvelopeIPC, res.BaselineIPC)
+	}
+	if res.Headroom() < 0 {
+		t.Fatalf("negative envelope headroom %.3f", res.Headroom())
+	}
+	if !strings.Contains(res.Table().String(), "apparent headroom") {
+		t.Fatal("envelope table rendering incomplete")
+	}
+}
+
+func TestEnvelopeSinglePolicyIsIdentity(t *testing.T) {
+	o := tiny()
+	o.Mixes = []string{"int-compute"}
+	res, err := RunEnvelope(o, []policy.Policy{policy.ICOUNT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnvelopeIPC != res.BaselineIPC {
+		t.Fatalf("single-policy envelope %.6f != baseline %.6f", res.EnvelopeIPC, res.BaselineIPC)
+	}
+}
+
+func TestJobschedExperiment(t *testing.T) {
+	o := tiny()
+	o.Intervals = 1
+	res, err := RunJobsched(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 4 {
+		t.Fatalf("%d policies", len(res.Policies))
+	}
+	for i, p := range res.Policies {
+		if res.IPC[i] <= 0 {
+			t.Fatalf("%v produced no throughput", p)
+		}
+	}
+	// The DT-assisted scheduler must pay less decision stall than the
+	// oblivious ones (that is the §3 claim being modelled).
+	if res.DecisionStall[3] >= res.DecisionStall[0] {
+		t.Fatalf("clog-aware stall %d not below round-robin %d",
+			res.DecisionStall[3], res.DecisionStall[0])
+	}
+	if !strings.Contains(res.Table().String(), "clog") {
+		t.Fatal("jobsched table rendering incomplete")
+	}
+}

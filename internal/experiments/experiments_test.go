@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// tiny returns options small enough for unit tests: two mixes, few
+// quanta, one interval.
+func tiny() Options {
+	o := DefaultOptions()
+	o.Mixes = []string{"int-compute", "mixed-lowipc"}
+	o.Quanta = 4
+	o.Intervals = 2
+	return o
+}
+
+func TestSweepStructure(t *testing.T) {
+	o := tiny()
+	thresholds := []float64{1, 3}
+	heuristics := []detector.Heuristic{detector.Type1, detector.Type3}
+	s, err := RunSweep(o, thresholds, heuristics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cells) != 2 || len(s.Cells[0]) != 2 {
+		t.Fatalf("grid shape %dx%d", len(s.Cells), len(s.Cells[0]))
+	}
+	if s.BaselineIPC <= 0 {
+		t.Fatal("baseline IPC missing")
+	}
+	for ti := range thresholds {
+		for hi := range heuristics {
+			c := s.Cells[ti][hi]
+			if c.IPC <= 0 {
+				t.Fatalf("cell (%d,%d) has no IPC", ti, hi)
+			}
+			if len(c.PerMixIPC) != 2 {
+				t.Fatalf("cell (%d,%d) per-mix map has %d entries", ti, hi, len(c.PerMixIPC))
+			}
+			if c.BenignP < 0 || c.BenignP > 1 {
+				t.Fatalf("benign probability %v out of range", c.BenignP)
+			}
+		}
+	}
+	// Figure renderers produce tables with the right geometry.
+	for _, tb := range []string{
+		s.Figure7Switches().String(),
+		s.Figure7Benign().String(),
+		s.Figure8IPC().String(),
+		s.Figure8Improvement().String(),
+	} {
+		if !strings.Contains(tb, "Type 1") || !strings.Contains(tb, "Type 3") {
+			t.Fatalf("figure table missing heuristic columns:\n%s", tb)
+		}
+	}
+	if !strings.Contains(s.Headline(), "best configuration") {
+		t.Fatal("headline malformed")
+	}
+}
+
+func TestSweepMoreSwitchingAtHigherThreshold(t *testing.T) {
+	// The Figure 7a property: a higher IPC threshold declares more
+	// quanta low-throughput, so switching cannot decrease.
+	o := tiny()
+	o.Quanta = 8
+	s, err := RunSweep(o, []float64{0.5, 8}, []detector.Heuristic{detector.Type1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.Cells[0][0], s.Cells[1][0]
+	if hi.Switches < lo.Switches {
+		t.Fatalf("switches fell from %v to %v as m rose", lo.Switches, hi.Switches)
+	}
+	if hi.LowQuanta < lo.LowQuanta {
+		t.Fatalf("low quanta fell from %v to %v as m rose", lo.LowQuanta, hi.LowQuanta)
+	}
+}
+
+func TestSimilaritySplit(t *testing.T) {
+	o := tiny()
+	s, err := RunSweep(o, []float64{2}, []detector.Heuristic{detector.Type3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homo := map[string]bool{"int-compute": true}
+	hg, dg, err := s.Similarity(2, detector.Type3, homo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = hg
+	_ = dg
+	if _, _, err := s.Similarity(9, detector.Type3, homo); err == nil {
+		t.Fatal("missing cell accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	o := tiny()
+	res, err := RunTable1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 10 {
+		t.Fatalf("%d policies", len(res.Policies))
+	}
+	for _, p := range res.Policies {
+		if res.MeanIPC[p] <= 0 {
+			t.Fatalf("policy %v has no IPC", p)
+		}
+	}
+	// Smart policies must beat none-of-the-above sanity bounds.
+	if res.MeanIPC[policy.ICOUNT] <= res.MeanIPC[policy.RR]*0.9 {
+		t.Fatalf("ICOUNT (%v) not clearly better than RR (%v)",
+			res.MeanIPC[policy.ICOUNT], res.MeanIPC[policy.RR])
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "ICOUNT") || !strings.Contains(out, "Round-robin") {
+		t.Fatal("Table 1 rendering incomplete")
+	}
+	if !strings.Contains(res.PerMixTable().String(), "int-compute") {
+		t.Fatal("per-mix table rendering incomplete")
+	}
+}
+
+func TestOracleExperiment(t *testing.T) {
+	o := tiny()
+	o.Mixes = []string{"mixed-lowipc"}
+	res, err := RunOracle(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.PerMix["mixed-lowipc"]
+	if v[0] <= 0 || v[1] <= 0 {
+		t.Fatal("missing oracle results")
+	}
+	if !strings.Contains(res.Table().String(), "MEAN") {
+		t.Fatal("oracle table missing mean row")
+	}
+}
+
+func TestSaturationExperiment(t *testing.T) {
+	o := tiny()
+	o.Mixes = []string{"int-compute"}
+	res, err := RunSaturation(o, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FixedIPC) != 2 || len(res.AdaptiveIPC) != 2 {
+		t.Fatal("wrong series lengths")
+	}
+	// SMT premise: 4 threads beat 1 under both schedulers.
+	if res.FixedIPC[1] <= res.FixedIPC[0] {
+		t.Fatalf("no SMT speedup: %v", res.FixedIPC)
+	}
+	if !strings.Contains(res.Table().String(), "threads") {
+		t.Fatal("saturation table rendering incomplete")
+	}
+}
+
+func TestCalibrationExperiment(t *testing.T) {
+	o := tiny()
+	cal, err := RunCalibration(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.L1MissRate <= 0 || cal.CondBrRate <= 0 {
+		t.Fatalf("calibration produced zero rates: %+v", cal)
+	}
+	if len(cal.PerMix) != 2 {
+		t.Fatalf("per-mix calibration has %d entries", len(cal.PerMix))
+	}
+	if !strings.Contains(cal.Table().String(), "paper threshold") {
+		t.Fatal("calibration table rendering incomplete")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := DefaultOptions()
+	if len(o.MixNames()) != len(trace.Mixes()) {
+		t.Fatal("default options do not cover the full mix catalogue")
+	}
+	cfg := o.FixedConfig("kitchen-sink", policy.ICOUNT, 0)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg = o.ADTSConfig("kitchen-sink", detector.Type4, 3, 1)
+	if cfg.Detector.IPCThreshold != 3 || cfg.Detector.Heuristic != detector.Type4 {
+		t.Fatal("ADTS config not applied")
+	}
+	if o.ADTSConfig("m", detector.Type1, 1, 0).Seed == o.ADTSConfig("m", detector.Type1, 1, 1).Seed {
+		t.Fatal("intervals must vary the seed")
+	}
+}
+
+func TestRunTable1Policy(t *testing.T) {
+	o := tiny()
+	o.Mixes = []string{"int-compute"}
+	ipc, err := RunTable1Policy(o, policy.ICOUNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc <= 0 {
+		t.Fatal("no IPC from single-policy Table 1 row")
+	}
+}
+
+func TestFigure8Chart(t *testing.T) {
+	s, err := RunSweep(tiny(), []float64{1, 2}, []detector.Heuristic{detector.Type1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Figure8Chart().String()
+	if !strings.Contains(out, "fixed ICOUNT") || !strings.Contains(out, "m=1") {
+		t.Fatalf("figure 8 chart incomplete:\n%s", out)
+	}
+}

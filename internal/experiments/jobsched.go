@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/jobsched"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// JobschedResult compares job-scheduling policies over the SMT core —
+// the §3/§7 detector-thread/job-scheduler interplay experiment.
+type JobschedResult struct {
+	Policies []jobsched.Policy
+	// IPC, DecisionStall and ClogEvictions are indexed by policy.
+	IPC           []float64
+	DecisionStall []uint64
+	ClogEvictions []uint64
+	Switches      []uint64
+}
+
+// RunJobsched multiplexes a 16-job pool (the whole profile catalogue)
+// over 8 contexts for the given number of slices under every policy.
+func RunJobsched(o Options, slices int) (*JobschedResult, error) {
+	if slices <= 0 {
+		slices = 12
+	}
+	pols := []jobsched.Policy{jobsched.RoundRobin, jobsched.Random, jobsched.IPCSensitive, jobsched.ClogAware}
+	res := &JobschedResult{Policies: pols}
+	for _, pol := range pols {
+		var ipcs []float64
+		var stall, clog, sw uint64
+		for it := 0; it < o.Intervals; it++ {
+			mix, _ := trace.MixByName("kitchen-sink")
+			progs, err := mix.Programs(8, o.Seed+uint64(it))
+			if err != nil {
+				return nil, err
+			}
+			m := pipeline.New(o.machine(), progs, o.Seed+uint64(it))
+			var jobs []*jobsched.Job
+			for i, p := range trace.Profiles() {
+				jobs = append(jobs, &jobsched.Job{
+					Name: p.Name,
+					Prog: trace.NewProgram(p, i%8, o.Seed+uint64(100*it+i)),
+				})
+			}
+			cfg := jobsched.DefaultConfig()
+			cfg.Slice = 65536
+			cfg.Policy = pol
+			cfg.Seed = o.Seed + uint64(it)
+			det := detector.New(detector.DefaultConfig(8))
+			s, err := jobsched.New(cfg, m, det, jobs)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < slices; i++ {
+				s.RunSlice()
+			}
+			ipcs = append(ipcs, float64(s.TotalCommitted())/float64(m.Now()))
+			st := s.Stats()
+			stall += st.DecisionStall
+			clog += st.ClogEvictions
+			sw += st.Switches
+		}
+		res.IPC = append(res.IPC, stats.Mean(ipcs))
+		res.DecisionStall = append(res.DecisionStall, stall/uint64(o.Intervals))
+		res.ClogEvictions = append(res.ClogEvictions, clog/uint64(o.Intervals))
+		res.Switches = append(res.Switches, sw/uint64(o.Intervals))
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *JobschedResult) Table() *stats.Table {
+	tb := &stats.Table{
+		Title:  "Job scheduling over the SMT core: oblivious vs thread-sensitive vs DT-assisted (§3/§7)",
+		Header: []string{"policy", "IPC", "switches", "clog evictions", "scheduler stall (cyc)"},
+	}
+	for i, p := range r.Policies {
+		tb.AddRow(p.String(), stats.F(r.IPC[i]),
+			fmt.Sprintf("%d", r.Switches[i]),
+			fmt.Sprintf("%d", r.ClogEvictions[i]),
+			fmt.Sprintf("%d", r.DecisionStall[i]))
+	}
+	return tb
+}

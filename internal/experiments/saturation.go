@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// SaturationResult is the thread-count scaling experiment behind the
+// paper's §7 claim that adaptive scheduling "can significantly extend
+// the saturation point in terms of number of threads".
+type SaturationResult struct {
+	Opts    Options
+	Threads []int
+	// FixedIPC and AdaptiveIPC are cross-mix mean IPCs per thread count.
+	FixedIPC    []float64
+	AdaptiveIPC []float64
+}
+
+// RunSaturation sweeps the thread count under fixed ICOUNT and under
+// ADTS (Type 3, m = 2, the paper's best configuration).
+func RunSaturation(o Options, threads []int) (*SaturationResult, error) {
+	if threads == nil {
+		threads = []int{1, 2, 4, 6, 8}
+	}
+	mixes := o.mixes()
+	var jobs []stats.Job
+	for _, n := range threads {
+		on := o
+		on.Threads = n
+		for _, mix := range mixes {
+			for it := 0; it < o.Intervals; it++ {
+				jobs = append(jobs, stats.Job{
+					Name:   jobName("fixed", mix, fmt.Sprintf("ICOUNT/t%d", n), it),
+					Config: on.FixedConfig(mix, policy.ICOUNT, it),
+				})
+			}
+		}
+	}
+	for _, n := range threads {
+		on := o
+		on.Threads = n
+		for _, mix := range mixes {
+			for it := 0; it < o.Intervals; it++ {
+				jobs = append(jobs, stats.Job{
+					Name:   jobName("adts", mix, fmt.Sprintf("T3m2/t%d", n), it),
+					Config: on.ADTSConfig(mix, detector.Type3, 2, it),
+				})
+			}
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &SaturationResult{Opts: o, Threads: threads}
+	per := len(mixes) * o.Intervals
+	for ti := range threads {
+		block := results[ti*per : (ti+1)*per]
+		_, mean := meanByMix(mixes, o.Intervals, func(mi, it int) float64 {
+			return block[mi*o.Intervals+it].AggregateIPC
+		})
+		res.FixedIPC = append(res.FixedIPC, mean)
+	}
+	offset := len(threads) * per
+	for ti := range threads {
+		block := results[offset+ti*per : offset+(ti+1)*per]
+		_, mean := meanByMix(mixes, o.Intervals, func(mi, it int) float64 {
+			return block[mi*o.Intervals+it].AggregateIPC
+		})
+		res.AdaptiveIPC = append(res.AdaptiveIPC, mean)
+	}
+	return res, nil
+}
+
+// Table renders IPC versus thread count for both schedulers.
+func (r *SaturationResult) Table() *stats.Table {
+	tb := &stats.Table{
+		Title:  "Thread-count scaling — fixed ICOUNT vs ADTS (Type 3, m=2), mean IPC over mixes",
+		Header: []string{"threads", "fixed ICOUNT", "ADTS Type 3 m=2", "gain"},
+	}
+	for i, n := range r.Threads {
+		gain := 0.0
+		if r.FixedIPC[i] > 0 {
+			gain = r.AdaptiveIPC[i]/r.FixedIPC[i] - 1
+		}
+		tb.AddRow(fmt.Sprintf("%d", n), stats.F(r.FixedIPC[i]), stats.F(r.AdaptiveIPC[i]), stats.Pct(gain))
+	}
+	return tb
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// Table1Result holds the fixed-policy shootout: every Table 1 policy run
+// over every mix.
+type Table1Result struct {
+	Opts     Options
+	Policies []policy.Policy
+	// MeanIPC[p] is the cross-mix mean IPC of policy p.
+	MeanIPC map[policy.Policy]float64
+	// PerMixIPC[p][mix] is the per-mix mean.
+	PerMixIPC map[policy.Policy]map[string]float64
+}
+
+// RunTable1 evaluates all ten fetch policies of Table 1 as fixed
+// policies over the mixes.
+func RunTable1(o Options) (*Table1Result, error) {
+	pols := policy.All()
+	mixes := o.mixes()
+	var jobs []stats.Job
+	for _, p := range pols {
+		for _, mix := range mixes {
+			for it := 0; it < o.Intervals; it++ {
+				jobs = append(jobs, stats.Job{
+					Name:   jobName("fixed", mix, p.String(), it),
+					Config: o.FixedConfig(mix, p, it),
+				})
+			}
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{
+		Opts:      o,
+		Policies:  pols,
+		MeanIPC:   make(map[policy.Policy]float64, len(pols)),
+		PerMixIPC: make(map[policy.Policy]map[string]float64, len(pols)),
+	}
+	per := len(mixes) * o.Intervals
+	for pi, p := range pols {
+		block := results[pi*per : (pi+1)*per]
+		perMix, mean := meanByMix(mixes, o.Intervals, func(mi, it int) float64 {
+			return block[mi*o.Intervals+it].AggregateIPC
+		})
+		res.PerMixIPC[p] = perMix
+		res.MeanIPC[p] = mean
+	}
+	return res, nil
+}
+
+// RunTable1Policy evaluates a single fixed policy over the options'
+// mixes and returns its cross-mix mean IPC (one Table 1 row).
+func RunTable1Policy(o Options, p policy.Policy) (float64, error) {
+	mixes := o.mixes()
+	var jobs []stats.Job
+	for _, mix := range mixes {
+		for it := 0; it < o.Intervals; it++ {
+			jobs = append(jobs, stats.Job{
+				Name:   jobName("fixed", mix, p.String(), it),
+				Config: o.FixedConfig(mix, p, it),
+			})
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return 0, err
+	}
+	_, mean := meanByMix(mixes, o.Intervals, func(mi, it int) float64 {
+		return results[mi*o.Intervals+it].AggregateIPC
+	})
+	return mean, nil
+}
+
+// Table renders the policy catalogue with measured mean IPC, Table 1
+// plus the companion fixed-policy comparison.
+func (t *Table1Result) Table() *stats.Table {
+	tb := &stats.Table{
+		Title:  "Table 1 — fetch policies tested, with measured fixed-policy mean IPC over all mixes",
+		Header: []string{"Fetch policy", "Description", "mean IPC"},
+	}
+	for _, p := range t.Policies {
+		tb.AddRow(p.String(), p.Description(), stats.F(t.MeanIPC[p]))
+	}
+	return tb
+}
+
+// PerMixTable renders the full policy x mix IPC matrix.
+func (t *Table1Result) PerMixTable() *stats.Table {
+	mixes := t.Opts.mixes()
+	hdr := append([]string{"mix"}, func() []string {
+		names := make([]string, len(t.Policies))
+		for i, p := range t.Policies {
+			names[i] = p.String()
+		}
+		return names
+	}()...)
+	tb := &stats.Table{Title: "Fixed-policy IPC by mix", Header: hdr}
+	for _, mix := range mixes {
+		row := []string{mix}
+		for _, p := range t.Policies {
+			row = append(row, stats.F(t.PerMixIPC[p][mix]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}

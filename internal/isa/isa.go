@@ -1,0 +1,158 @@
+// Package isa defines the abstract instruction set of the trace-driven SMT
+// simulator: dynamic instruction records, instruction classes, and the
+// functional-unit classes and latencies they map onto.
+//
+// The simulator is trace-driven: programs are streams of Inst records
+// produced by internal/trace. An Inst carries everything the timing model
+// needs — class, dependency distances, effective address, branch outcome —
+// and nothing it does not (no opcode encodings, no register values).
+package isa
+
+import "fmt"
+
+// Class identifies the kind of a dynamic instruction.
+type Class uint8
+
+// Instruction classes. The mix of classes in a program stream is the main
+// lever the workload generator uses to model application behaviour.
+const (
+	Nop Class = iota
+	IntALU
+	IntMult
+	IntDiv
+	FPAdd
+	FPMult
+	FPDiv
+	Load
+	Store
+	Branch  // conditional branch
+	Jump    // unconditional direct jump
+	Syscall // system-call marker: drains the whole pipeline (paper §6)
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"nop", "ialu", "imult", "idiv", "fadd", "fmult", "fdiv",
+	"load", "store", "branch", "jump", "syscall",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsCtrl reports whether the class redirects control flow.
+func (c Class) IsCtrl() bool { return c == Branch || c == Jump }
+
+// IsFP reports whether the class executes on the floating-point side
+// (and therefore occupies the FP instruction queue).
+func (c Class) IsFP() bool { return c == FPAdd || c == FPMult || c == FPDiv }
+
+// FUKind identifies a functional-unit class.
+type FUKind uint8
+
+// Functional-unit classes, sized per the Tullsen et al. ICOUNT machine the
+// paper configures SimpleSMT to match (6 integer ALUs, 2 int mul/div,
+// 4 FP units, 4 load/store ports).
+const (
+	FUIntALU FUKind = iota
+	FUIntMulDiv
+	FUFPAdd
+	FUFPMulDiv
+	FUMemPort
+	NumFU
+)
+
+var fuNames = [NumFU]string{"int-alu", "int-muldiv", "fp-add", "fp-muldiv", "mem-port"}
+
+func (k FUKind) String() string {
+	if int(k) < len(fuNames) {
+		return fuNames[k]
+	}
+	return fmt.Sprintf("fu(%d)", uint8(k))
+}
+
+// FU returns the functional-unit class an instruction class issues to.
+// Nop, Jump and Syscall use an integer ALU slot.
+func (c Class) FU() FUKind {
+	switch c {
+	case IntMult, IntDiv:
+		return FUIntMulDiv
+	case FPAdd:
+		return FUFPAdd
+	case FPMult, FPDiv:
+		return FUFPMulDiv
+	case Load, Store:
+		return FUMemPort
+	default:
+		return FUIntALU
+	}
+}
+
+// Latency returns the execution latency in cycles of the class, excluding
+// any memory-hierarchy latency (loads add the D-cache access on top).
+// Values follow the SimpleScalar defaults the paper's simulator inherits.
+func (c Class) Latency() int {
+	switch c {
+	case IntMult:
+		return 3
+	case IntDiv:
+		return 20
+	case FPAdd:
+		return 2
+	case FPMult:
+		return 4
+	case FPDiv:
+		return 12
+	case Load, Store:
+		return 1 // address generation; cache latency is added separately
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether a functional unit of the class accepts a new
+// instruction every cycle (true) or blocks until the current one finishes
+// (false, for dividers).
+func (c Class) Pipelined() bool {
+	return c != IntDiv && c != FPDiv
+}
+
+// Inst is one dynamic instruction in a program stream.
+//
+// Dependencies are expressed as dynamic distances: Dep1/Dep2 name the
+// producer as "the instruction Dep1 (Dep2) positions earlier in this
+// thread's committed stream"; zero means no register dependency through
+// that operand. This is equivalent to post-rename true dependencies and
+// lets the pipeline resolve readiness without simulating register values.
+type Inst struct {
+	Seq    uint64 // per-thread dynamic sequence number, starting at 1
+	PC     uint64 // instruction address (word-granular)
+	Class  Class
+	Dep1   uint32 // dynamic distance to first producer; 0 = none
+	Dep2   uint32 // dynamic distance to second producer; 0 = none
+	HasDst bool   // writes a register (allocates a rename register)
+	Addr   uint64 // effective byte address for Load/Store
+	Taken  bool   // actual outcome for Branch (Jump is always taken)
+	Target uint64 // target PC for taken Branch/Jump
+}
+
+// String renders a compact human-readable form, for debugging and traces.
+func (in Inst) String() string {
+	switch {
+	case in.Class.IsMem():
+		return fmt.Sprintf("#%d pc=%#x %s addr=%#x dep=(%d,%d)",
+			in.Seq, in.PC, in.Class, in.Addr, in.Dep1, in.Dep2)
+	case in.Class.IsCtrl():
+		return fmt.Sprintf("#%d pc=%#x %s taken=%t tgt=%#x",
+			in.Seq, in.PC, in.Class, in.Taken, in.Target)
+	default:
+		return fmt.Sprintf("#%d pc=%#x %s dep=(%d,%d)",
+			in.Seq, in.PC, in.Class, in.Dep1, in.Dep2)
+	}
+}

@@ -1,0 +1,116 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c             Class
+		mem, ctrl, fp bool
+	}{
+		{Nop, false, false, false},
+		{IntALU, false, false, false},
+		{IntMult, false, false, false},
+		{IntDiv, false, false, false},
+		{FPAdd, false, false, true},
+		{FPMult, false, false, true},
+		{FPDiv, false, false, true},
+		{Load, true, false, false},
+		{Store, true, false, false},
+		{Branch, false, true, false},
+		{Jump, false, true, false},
+		{Syscall, false, false, false},
+	}
+	for _, c := range cases {
+		if c.c.IsMem() != c.mem || c.c.IsCtrl() != c.ctrl || c.c.IsFP() != c.fp {
+			t.Errorf("%v predicates: mem=%t ctrl=%t fp=%t, want %t %t %t",
+				c.c, c.c.IsMem(), c.c.IsCtrl(), c.c.IsFP(), c.mem, c.ctrl, c.fp)
+		}
+	}
+}
+
+func TestFUMapping(t *testing.T) {
+	cases := map[Class]FUKind{
+		IntALU:  FUIntALU,
+		IntMult: FUIntMulDiv,
+		IntDiv:  FUIntMulDiv,
+		FPAdd:   FUFPAdd,
+		FPMult:  FUFPMulDiv,
+		FPDiv:   FUFPMulDiv,
+		Load:    FUMemPort,
+		Store:   FUMemPort,
+		Branch:  FUIntALU,
+		Jump:    FUIntALU,
+		Nop:     FUIntALU,
+		Syscall: FUIntALU,
+	}
+	for c, fu := range cases {
+		if c.FU() != fu {
+			t.Errorf("%v.FU() = %v, want %v", c, c.FU(), fu)
+		}
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := Class(raw % uint8(NumClasses))
+		return c.Latency() >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	if !(IntDiv.Latency() > IntMult.Latency() && IntMult.Latency() > IntALU.Latency()) {
+		t.Fatal("integer latency ordering violated")
+	}
+	if !(FPDiv.Latency() > FPMult.Latency() && FPMult.Latency() >= FPAdd.Latency()) {
+		t.Fatal("FP latency ordering violated")
+	}
+}
+
+func TestPipelined(t *testing.T) {
+	if IntDiv.Pipelined() || FPDiv.Pipelined() {
+		t.Fatal("dividers must not be pipelined")
+	}
+	for _, c := range []Class{IntALU, IntMult, FPAdd, FPMult, Load, Store, Branch} {
+		if !c.Pipelined() {
+			t.Fatalf("%v should be pipelined", c)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if s := c.String(); s == "" || strings.Contains(s, "class(") {
+			t.Errorf("Class(%d) has no name", c)
+		}
+	}
+	for k := FUKind(0); k < NumFU; k++ {
+		if s := k.String(); s == "" || strings.Contains(s, "fu(") {
+			t.Errorf("FUKind(%d) has no name", k)
+		}
+	}
+	if Class(200).String() == "" || FUKind(200).String() == "" {
+		t.Error("out-of-range values should still render")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	mem := Inst{Seq: 1, PC: 0x10, Class: Load, Addr: 0x1000, Dep1: 2}
+	if !strings.Contains(mem.String(), "addr=0x1000") {
+		t.Errorf("mem inst string: %s", mem)
+	}
+	br := Inst{Seq: 2, PC: 0x11, Class: Branch, Taken: true, Target: 0x8}
+	if !strings.Contains(br.String(), "taken=true") {
+		t.Errorf("branch inst string: %s", br)
+	}
+	alu := Inst{Seq: 3, PC: 0x12, Class: IntALU, Dep1: 1, Dep2: 4}
+	if !strings.Contains(alu.String(), "dep=(1,4)") {
+		t.Errorf("alu inst string: %s", alu)
+	}
+}

@@ -1,0 +1,368 @@
+// Package jobsched models the operating-system job scheduler above the
+// SMT core — the layer the paper's §3 and §7 argue the detector thread
+// should assist: "the detector thread can also help lower the overhead
+// of the system job scheduler by shortening its stay in the processor
+// and analyzing information before the job scheduler needs it", and
+// "when the system thread is loaded, it will look at the [clogging]
+// flag and suspend a clogging thread without going through the process
+// of determining which thread to suspend".
+//
+// A Scheduler owns more jobs than the machine has hardware contexts and
+// re-decides the resident set every time slice (milliseconds-scale,
+// i.e. many ADTS quanta). Four policies are modelled:
+//
+//   - RoundRobin and Random: Parekh et al.'s "oblivious" schedulers;
+//   - IPCSensitive: thread-sensitive scheduling on observed IPC;
+//   - ClogAware: round-robin, but the contexts flagged Clogging by the
+//     detector thread are evicted first — and because the analysis was
+//     done off-line by the DT, the scheduler's own stay on the
+//     processor (a global fetch stall) is much shorter.
+package jobsched
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/detector"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Policy selects the job-scheduling discipline.
+type Policy int
+
+const (
+	// RoundRobin rotates jobs obliviously through the contexts.
+	RoundRobin Policy = iota
+	// Random picks a random resident set each slice.
+	Random
+	// IPCSensitive keeps the jobs with the highest recently observed
+	// IPC resident and rotates the rest (thread-sensitive scheduling).
+	IPCSensitive
+	// ClogAware is RoundRobin, but contexts the detector thread flagged
+	// as clogging are evicted first, and the scheduler's stay on the
+	// processor is shorter because the analysis is already done.
+	ClogAware
+	NumPolicies
+)
+
+var policyNames = [NumPolicies]string{"round-robin", "random", "ipc-sensitive", "clog-aware"}
+
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("jobsched(%d)", int(p))
+}
+
+// Config parameterises the scheduler.
+type Config struct {
+	// Slice is the job-scheduling time slice in cycles. The paper notes
+	// job quanta are milliseconds, "equivalent to a million cycles";
+	// the default uses 131072 to keep experiments affordable while
+	// staying 16x the ADTS quantum.
+	Slice int64
+	// SwitchPenalty is the per-context cost in cycles of loading a new
+	// job (pipeline refill, architectural state swap).
+	SwitchPenalty int
+	// DecisionPenalty is the global fetch stall while the job scheduler
+	// itself runs on the processor at a slice boundary.
+	DecisionPenalty int
+	// ClogDecisionPenalty replaces DecisionPenalty for ClogAware: the
+	// detector thread pre-computed the analysis in idle slots.
+	ClogDecisionPenalty int
+	Policy              Policy
+	Seed                uint64
+}
+
+// DefaultConfig returns slice and penalty defaults.
+func DefaultConfig() Config {
+	return Config{
+		Slice:               131072,
+		SwitchPenalty:       600,
+		DecisionPenalty:     2400,
+		ClogDecisionPenalty: 300,
+		Policy:              RoundRobin,
+		Seed:                1,
+	}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Slice <= 0:
+		return fmt.Errorf("jobsched: Slice must be positive")
+	case c.SwitchPenalty < 0 || c.DecisionPenalty < 0 || c.ClogDecisionPenalty < 0:
+		return fmt.Errorf("jobsched: penalties must be >= 0")
+	case c.Policy < 0 || c.Policy >= NumPolicies:
+		return fmt.Errorf("jobsched: unknown policy %d", c.Policy)
+	}
+	return nil
+}
+
+// Job is one schedulable program.
+type Job struct {
+	Name string
+	Prog *trace.Program
+
+	Committed uint64  // instructions retired across all its slices
+	Slices    int     // slices it was resident
+	LastIPC   float64 // observed IPC in its most recent slice
+	WasClog   bool    // flagged clogging in its most recent slice
+}
+
+// Stats accumulates scheduler-level bookkeeping.
+type Stats struct {
+	Slices        uint64
+	Switches      uint64 // job loads onto a context
+	ClogEvictions uint64 // evictions driven by the detector's flag
+	DecisionStall uint64 // cycles of global stall paid to the scheduler
+}
+
+// Scheduler multiplexes jobs onto a machine.
+type Scheduler struct {
+	cfg  Config
+	m    *pipeline.Machine
+	det  *detector.Detector // optional: ADTS + clogging flags
+	jobs []*Job
+
+	resident []int // job index per context
+	queue    []int // waiting job indices, FIFO
+	r        rng.PRNG
+	prevCum  []counters.Counters
+	stats    Stats
+}
+
+// New builds a scheduler for the given machine and job pool; the first
+// NumThreads jobs start resident. A non-nil det enables ADTS (policy
+// switching and clogging flags) at the detector's quantum inside each
+// slice.
+func New(cfg Config, m *pipeline.Machine, det *detector.Detector, jobs []*Job) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.NumThreads()
+	if len(jobs) < n {
+		return nil, fmt.Errorf("jobsched: need at least %d jobs, got %d", n, len(jobs))
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		m:       m,
+		det:     det,
+		jobs:    jobs,
+		r:       rng.New(cfg.Seed ^ 0x6a09e667f3bcc909),
+		prevCum: make([]counters.Counters, n),
+	}
+	for i := 0; i < n; i++ {
+		s.resident = append(s.resident, i)
+		m.SwapProgram(i, jobs[i].Prog, 0)
+		s.prevCum[i] = m.State(i).Cum
+	}
+	for i := n; i < len(jobs); i++ {
+		s.queue = append(s.queue, i)
+	}
+	return s, nil
+}
+
+// Stats returns scheduler bookkeeping.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Jobs returns the job pool (live view).
+func (s *Scheduler) Jobs() []*Job { return s.jobs }
+
+// Machine returns the underlying machine.
+func (s *Scheduler) Machine() *pipeline.Machine { return s.m }
+
+// RunSlice runs one time slice and re-decides the resident set.
+func (s *Scheduler) RunSlice() {
+	s.stats.Slices++
+	s.runSliceCycles()
+
+	// Account the slice to the resident jobs.
+	n := s.m.NumThreads()
+	for ctx := 0; ctx < n; ctx++ {
+		cum := s.m.State(ctx).Cum
+		delta := cum.Sub(s.prevCum[ctx])
+		s.prevCum[ctx] = cum
+		j := s.jobs[s.resident[ctx]]
+		j.Committed += delta.Committed
+		j.Slices++
+		j.LastIPC = float64(delta.Committed) / float64(s.cfg.Slice)
+		j.WasClog = s.m.State(ctx).Flags.Clogging
+	}
+
+	// The scheduler occupies the processor to decide.
+	stall := s.cfg.DecisionPenalty
+	if s.cfg.Policy == ClogAware {
+		stall = s.cfg.ClogDecisionPenalty
+	}
+	s.m.StallAllFetch(stall)
+	s.stats.DecisionStall += uint64(stall)
+
+	s.reschedule()
+}
+
+// runSliceCycles advances the machine one slice, driving the embedded
+// ADTS detector at its quantum if present.
+func (s *Scheduler) runSliceCycles() {
+	if s.det == nil {
+		s.m.Run(s.cfg.Slice)
+		return
+	}
+	quantum := s.det.Config().Quantum
+	var prev []counters.Counters
+	n := s.m.NumThreads()
+	prev = make([]counters.Counters, n)
+	for i := 0; i < n; i++ {
+		prev[i] = s.m.State(i).Cum
+	}
+	for done := int64(0); done < s.cfg.Slice; done += quantum {
+		step := quantum
+		if s.cfg.Slice-done < step {
+			step = s.cfg.Slice - done
+		}
+		for i := 0; i < n; i++ {
+			s.m.State(i).QuantumStalls = 0
+		}
+		s.m.Run(step)
+		qs := detector.QuantumStats{
+			Cycles:    step,
+			PerThread: make([]detector.ThreadQuantum, n),
+		}
+		var misp, l1, lsq, cbr uint64
+		for i := 0; i < n; i++ {
+			cum := s.m.State(i).Cum
+			d := cum.Sub(prev[i])
+			prev[i] = cum
+			qs.Committed += d.Committed
+			misp += d.Mispredicts
+			l1 += d.L1Misses()
+			lsq += d.LSQFull
+			cbr += d.CondBranches
+			qs.PerThread[i] = detector.ThreadQuantum{
+				Committed: d.Committed,
+				PreIssue:  s.m.State(i).Live.PreIssue,
+			}
+		}
+		fc := float64(step)
+		qs.IPC = float64(qs.Committed) / fc
+		qs.MispredRate = float64(misp) / fc
+		qs.L1MissRate = float64(l1) / fc
+		qs.LSQFullRate = float64(lsq) / fc
+		qs.CondBrRate = float64(cbr) / fc
+
+		dec := s.det.OnQuantumEnd(qs)
+		s.m.ScheduleDetectorJob(dec.Work, dec.NewPolicy, dec.Switch)
+		for i, clog := range dec.Clogging {
+			f := s.m.State(i).Flags
+			f.Clogging = clog
+			s.m.SetFlags(i, f)
+		}
+	}
+}
+
+// reschedule decides the next resident set and performs the swaps.
+func (s *Scheduler) reschedule() {
+	if len(s.queue) == 0 {
+		return // nothing waiting; everyone stays
+	}
+	n := s.m.NumThreads()
+	evict := s.pickEvictions()
+	for _, ctx := range evict {
+		if len(s.queue) == 0 {
+			break
+		}
+		incoming := s.queue[0]
+		s.queue = s.queue[1:]
+		outgoing := s.resident[ctx]
+		s.queue = append(s.queue, outgoing)
+		s.resident[ctx] = incoming
+		s.m.SwapProgram(ctx, s.jobs[incoming].Prog, s.cfg.SwitchPenalty)
+		s.prevCum[ctx] = s.m.State(ctx).Cum
+		s.stats.Switches++
+	}
+	_ = n
+}
+
+// pickEvictions returns the contexts to swap out this slice, most
+// evictable first.
+func (s *Scheduler) pickEvictions() []int {
+	n := s.m.NumThreads()
+	// How many contexts rotate per slice: half, so every job progresses
+	// while co-schedules still vary.
+	k := n / 2
+	if k == 0 {
+		k = 1
+	}
+	switch s.cfg.Policy {
+	case RoundRobin:
+		out := make([]int, 0, k)
+		start := int(s.stats.Slices) % n
+		for i := 0; i < k; i++ {
+			out = append(out, (start+i)%n)
+		}
+		return out
+	case Random:
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := n - 1; i > 0; i-- {
+			j := s.r.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		return perm[:k]
+	case IPCSensitive:
+		// Evict the k contexts with the lowest last-slice IPC.
+		return s.rankContexts(k, func(ctx int) float64 {
+			return s.jobs[s.resident[ctx]].LastIPC
+		})
+	case ClogAware:
+		// Clogging-flagged contexts go first; fill up round-robin.
+		out := make([]int, 0, k)
+		used := make([]bool, n)
+		for ctx := 0; ctx < n && len(out) < k; ctx++ {
+			if s.m.State(ctx).Flags.Clogging {
+				out = append(out, ctx)
+				used[ctx] = true
+				s.stats.ClogEvictions++
+			}
+		}
+		start := int(s.stats.Slices) % n
+		for i := 0; i < n && len(out) < k; i++ {
+			ctx := (start + i) % n
+			if !used[ctx] {
+				out = append(out, ctx)
+				used[ctx] = true
+			}
+		}
+		return out
+	default:
+		panic("jobsched: unknown policy")
+	}
+}
+
+// rankContexts returns the k contexts with the lowest key.
+func (s *Scheduler) rankContexts(k int, key func(ctx int) float64) []int {
+	n := s.m.NumThreads()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && key(idx[j]) < key(idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx[:k]
+}
+
+// TotalCommitted sums committed instructions over all jobs.
+func (s *Scheduler) TotalCommitted() uint64 {
+	var n uint64
+	for _, j := range s.jobs {
+		n += j.Committed
+	}
+	return n
+}

@@ -1,0 +1,239 @@
+package jobsched
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+func pool(t testing.TB, n int, seed uint64) []*Job {
+	t.Helper()
+	profs := trace.Profiles()
+	jobs := make([]*Job, n)
+	for i := 0; i < n; i++ {
+		p := profs[i%len(profs)]
+		jobs[i] = &Job{Name: p.Name, Prog: trace.NewProgram(p, i%8, seed+uint64(i))}
+	}
+	return jobs
+}
+
+func machine(t testing.TB) *pipeline.Machine {
+	t.Helper()
+	mix, _ := trace.MixByName("kitchen-sink")
+	progs, err := mix.Programs(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline.New(pipeline.DefaultConfig(), progs, 1)
+}
+
+func TestSwapProgramFlushes(t *testing.T) {
+	m := machine(t)
+	m.Run(5000) // plenty in flight
+	prof, _ := trace.ProfileByName("gzip")
+	m.SwapProgram(3, trace.NewProgram(prof, 3, 42), 100)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after swap: %v", err)
+	}
+	g := m.State(3).Live
+	if g.ROB != 0 || g.PreIssue != 0 || g.IQ != 0 || g.LSQ != 0 {
+		t.Fatalf("swapped thread still holds resources: %+v", g)
+	}
+	before := m.State(3).Cum.Committed
+	m.Run(5000)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after post-swap run: %v", err)
+	}
+	if m.State(3).Cum.Committed == before {
+		t.Fatal("swapped-in job never committed")
+	}
+}
+
+func TestSwapPenaltyBlocksFetch(t *testing.T) {
+	m := machine(t)
+	m.Run(1000)
+	prof, _ := trace.ProfileByName("gzip")
+	fetched := m.State(0).Cum.Fetched
+	m.SwapProgram(0, trace.NewProgram(prof, 0, 7), 2000)
+	m.Run(1500)
+	if m.State(0).Cum.Fetched != fetched {
+		t.Fatal("fetch resumed before the switch penalty elapsed")
+	}
+	m.Run(1000)
+	if m.State(0).Cum.Fetched == fetched {
+		t.Fatal("fetch never resumed after the penalty")
+	}
+}
+
+func TestStallAllFetch(t *testing.T) {
+	m := machine(t)
+	m.Run(1000)
+	var before [8]uint64
+	for i := 0; i < 8; i++ {
+		before[i] = m.State(i).Cum.Fetched
+	}
+	m.StallAllFetch(500)
+	m.Run(400)
+	for i := 0; i < 8; i++ {
+		if m.State(i).Cum.Fetched != before[i] {
+			t.Fatalf("context %d fetched during a global stall", i)
+		}
+	}
+}
+
+func TestSchedulerRunsAllJobs(t *testing.T) {
+	m := machine(t)
+	cfg := DefaultConfig()
+	cfg.Slice = 8192
+	cfg.Policy = RoundRobin
+	jobs := pool(t, 16, 1)
+	s, err := New(cfg, m, nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.RunSlice()
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("slice %d: %v", i, err)
+		}
+	}
+	ran := 0
+	for _, j := range jobs {
+		if j.Slices > 0 {
+			ran++
+		}
+	}
+	if ran < 14 {
+		t.Fatalf("only %d/16 jobs ever ran under round-robin", ran)
+	}
+	if s.Stats().Switches == 0 {
+		t.Fatal("no context switches recorded")
+	}
+	if s.TotalCommitted() == 0 {
+		t.Fatal("no instructions attributed to jobs")
+	}
+}
+
+func TestSchedulerPoliciesRun(t *testing.T) {
+	for p := Policy(0); p < NumPolicies; p++ {
+		m := machine(t)
+		cfg := DefaultConfig()
+		cfg.Slice = 8192
+		cfg.Policy = p
+		var det *detector.Detector
+		if p == ClogAware {
+			det = detector.New(detector.DefaultConfig(8))
+		}
+		s, err := New(cfg, m, det, pool(t, 12, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			s.RunSlice()
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if s.TotalCommitted() == 0 {
+			t.Fatalf("%v: no throughput", p)
+		}
+	}
+}
+
+func TestClogAwareCheaperDecisions(t *testing.T) {
+	run := func(p Policy) Stats {
+		m := machine(t)
+		cfg := DefaultConfig()
+		cfg.Slice = 8192
+		cfg.Policy = p
+		s, err := New(cfg, m, detector.New(detector.DefaultConfig(8)), pool(t, 12, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			s.RunSlice()
+		}
+		return s.Stats()
+	}
+	rr := run(RoundRobin)
+	ca := run(ClogAware)
+	if ca.DecisionStall >= rr.DecisionStall {
+		t.Fatalf("clog-aware decision stall %d should be below round-robin's %d",
+			ca.DecisionStall, rr.DecisionStall)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m := machine(t)
+	if _, err := New(DefaultConfig(), m, nil, pool(t, 4, 1)); err == nil {
+		t.Fatal("accepted fewer jobs than contexts")
+	}
+	bad := DefaultConfig()
+	bad.Slice = 0
+	if _, err := New(bad, m, nil, pool(t, 12, 1)); err == nil {
+		t.Fatal("accepted zero slice")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p := Policy(0); p < NumPolicies; p++ {
+		if p.String() == "" {
+			t.Fatalf("policy %d has no name", p)
+		}
+	}
+}
+
+func TestSwapDuringWrongPath(t *testing.T) {
+	// Swap a thread while it is fetching down a wrong path: the flush
+	// must clear the wrong-path state and the machine stay consistent.
+	m := machine(t)
+	prof, _ := trace.ProfileByName("crafty") // mispredict-heavy
+	for cycle := 0; cycle < 3000; cycle++ {
+		m.Cycle()
+	}
+	for tid := 0; tid < 8; tid++ {
+		m.SwapProgram(tid, trace.NewProgram(prof, tid, uint64(50+tid)), 50)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after mass swap: %v", err)
+	}
+	m.Run(10000)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after post-swap run: %v", err)
+	}
+}
+
+func TestSwapDuringSyscallDrain(t *testing.T) {
+	prof := &trace.Profile{
+		Name: "sysstorm", Class: "int",
+		Phases: []trace.Phase{{
+			Name: "main", MeanLen: 5000,
+			BranchFrac: 0.1, LoadFrac: 0.2, StoreFrac: 0.1, SyscallRate: 0.01,
+			DataFootprint: 32 << 10, SeqFrac: 0.5, StackFrac: 0.2, CodeWords: 1000,
+			BiasedW: 0.7, LoopW: 0.2, RandomW: 0.1, MeanDepDist: 5, DepProb: 0.7,
+		}},
+	}
+	progs := []*trace.Program{
+		trace.NewProgram(prof, 0, 1),
+		trace.NewProgram(prof, 1, 2),
+	}
+	m := pipeline.New(pipeline.DefaultConfig(), progs, 1)
+	swapProf, _ := trace.ProfileByName("gzip")
+	for i := 0; i < 30; i++ {
+		m.Run(700)
+		tid := i % 2
+		m.SwapProgram(tid, trace.NewProgram(swapProf, tid, uint64(i)), 20)
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	m.Run(20000)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCommitted() == 0 {
+		t.Fatal("machine wedged after swaps during syscall storms")
+	}
+}

@@ -1,0 +1,76 @@
+// Package oracle implements the oracle-scheduled upper bound the paper's
+// argument rests on: the authors' prior study showed fixed ICOUNT leaves
+// ~30% of throughput on the table relative to a scheduler that always
+// picks the best fetch policy for each quantum. ADTS tries to approach
+// this bound with realisable heuristics.
+//
+// The oracle exploits the simulator's determinism: at each quantum
+// boundary it clones the whole machine once per candidate policy, runs
+// each clone one quantum into the future, and commits the real machine
+// to the winner. This is exact — the clone replays bit-identical
+// behaviour — and obviously unimplementable in hardware, which is the
+// point of an upper bound.
+package oracle
+
+import (
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+)
+
+// DefaultCandidates is the policy set the oracle (and the paper's FSMs)
+// choose from. Restricting to the three ADTS policies bounds what ADTS
+// itself could achieve; use policy.All for the unrestricted bound.
+func DefaultCandidates() []policy.Policy {
+	return []policy.Policy{policy.ICOUNT, policy.BRCOUNT, policy.L1MISSCOUNT}
+}
+
+// BestPolicy evaluates every candidate over the next quantum cycles on
+// clones of m and returns the winner and the committed-instruction gain
+// it achieved. Ties go to the earliest candidate, so ICOUNT (first in
+// DefaultCandidates) wins when policies are indistinguishable.
+func BestPolicy(m *pipeline.Machine, quantum int64, candidates []policy.Policy) (best policy.Policy, bestCommitted uint64) {
+	if len(candidates) == 0 {
+		panic("oracle: no candidate policies")
+	}
+	first := true
+	for _, cand := range candidates {
+		c := m.Clone()
+		c.SetPolicy(cand)
+		base := c.TotalCommitted()
+		c.Run(quantum)
+		gain := c.TotalCommitted() - base
+		if first || gain > bestCommitted {
+			best, bestCommitted, first = cand, gain, false
+		}
+	}
+	return best, bestCommitted
+}
+
+// Scheduler drives a machine quantum by quantum under oracle policy
+// selection.
+type Scheduler struct {
+	Quantum    int64
+	Candidates []policy.Policy
+
+	Switches uint64 // quantum boundaries where the policy changed
+	Quanta   uint64
+}
+
+// NewScheduler returns an oracle scheduler with the default candidate
+// set.
+func NewScheduler(quantum int64) *Scheduler {
+	return &Scheduler{Quantum: quantum, Candidates: DefaultCandidates()}
+}
+
+// Step selects the best policy for the next quantum, engages it on m,
+// and runs the quantum. It returns the chosen policy.
+func (s *Scheduler) Step(m *pipeline.Machine) policy.Policy {
+	best, _ := BestPolicy(m, s.Quantum, s.Candidates)
+	if best != m.Policy() {
+		s.Switches++
+	}
+	m.SetPolicy(best)
+	m.Run(s.Quantum)
+	s.Quanta++
+	return best
+}

@@ -1,0 +1,44 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SaveConfig writes a machine configuration as indented JSON, so
+// experiment configurations can be versioned alongside results.
+func SaveConfig(path string, cfg Config) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cfg); err != nil {
+		return fmt.Errorf("pipeline: encoding config: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("pipeline: writing config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig reads a JSON machine configuration. Fields absent from the
+// file keep DefaultConfig values, so a file may override just the knobs
+// an experiment varies; unknown fields are rejected (they are almost
+// always typos). The result is validated.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("pipeline: reading config: %w", err)
+	}
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("pipeline: parsing config %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("pipeline: config %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,59 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestConfigRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine.json")
+	cfg := DefaultConfig()
+	cfg.FetchWidth = 4
+	cfg.MSHRs = 8
+	if err := SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", got, cfg)
+	}
+}
+
+func TestConfigPartialOverride(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, []byte(`{"FetchThreads": 4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FetchThreads != 4 {
+		t.Fatal("override not applied")
+	}
+	if got.FetchWidth != DefaultConfig().FetchWidth {
+		t.Fatal("defaults not preserved")
+	}
+}
+
+func TestConfigRejectsUnknownAndInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"FetchWdith": 4}`), 0o644) // typo field
+	if _, err := LoadConfig(bad); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	os.WriteFile(bad, []byte(`{"FetchWidth": 0}`), 0o644)
+	if _, err := LoadConfig(bad); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,708 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// farFuture blocks a thread's fetch until an explicit event (syscall
+// commit) re-enables it.
+const farFuture = math.MaxInt64 / 2
+
+// Cycle advances the machine by one clock. Stages run back to front so
+// that resources freed this cycle become available to earlier stages next
+// cycle, with one deliberate exception: completions are processed first
+// so same-cycle wakeup (a modest bypass network) is modelled.
+func (m *Machine) Cycle() {
+	m.processCompletions()
+	m.commit()
+	m.issue()
+	m.dispatch()
+	m.fetch()
+	m.now++
+	if m.now&255 == 0 {
+		for _, t := range m.threads {
+			t.st.AccIPC = float64(t.st.Cum.Committed) / float64(m.now)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- fetch
+
+func (m *Machine) fetch() {
+	if m.draining {
+		for _, t := range m.threads {
+			t.st.Cum.FetchStalls++
+		}
+		return
+	}
+	order := m.sel.Order(m.statesView, m.orderBuf)
+	m.sel.Advance()
+	slots := m.cfg.FetchWidth
+	threadsUsed := 0
+	for _, ti := range order {
+		if slots == 0 || threadsUsed >= m.cfg.FetchThreads {
+			break
+		}
+		t := m.threads[ti]
+		if !m.canFetch(t) {
+			continue
+		}
+		n := m.fetchThread(t, slots)
+		if n > 0 {
+			slots -= n
+			threadsUsed++
+		}
+	}
+	// The detector thread takes only what nobody else wanted (paper §3:
+	// "when the slots are almost fully occupied by normal threads, the
+	// detector thread will not obtain any more scheduling slots").
+	if m.dtToFetch > 0 && slots > 0 {
+		k := min(slots, m.dtToFetch)
+		m.dtToFetch -= k
+		m.dtStats.FetchSlotsUsed += uint64(k)
+	}
+}
+
+// canFetch checks a thread's eligibility this cycle, counting stalls.
+func (m *Machine) canFetch(t *thread) bool {
+	if t.st.Flags.FetchDisabled {
+		t.st.Cum.FetchStalls++
+		return false
+	}
+	if t.fetchBlockedUntil > m.now {
+		t.st.Cum.FetchStalls++
+		return false
+	}
+	if t.blockedByIMiss {
+		t.blockedByIMiss = false
+		t.st.Live.IMissOut = 0
+	}
+	if t.wrongPath && !m.cfg.WrongPath {
+		// Ablation mode: no wrong-path injection; fetch simply waits
+		// for the mispredicted branch to resolve.
+		t.st.Cum.FetchStalls++
+		return false
+	}
+	if m.ifqTotal >= m.cfg.IFQSize {
+		t.st.Cum.FetchStalls++
+		return false
+	}
+	return true
+}
+
+// fetchPC returns the address of the next instruction to fetch.
+func (m *Machine) fetchPC(t *thread) uint64 {
+	if t.wrongPath {
+		return t.wrongPC
+	}
+	m.peek(t)
+	return t.pending.PC
+}
+
+// peek ensures t.pending holds the next architectural instruction.
+func (m *Machine) peek(t *thread) {
+	if !t.hasPending {
+		t.pending = t.prog.Next()
+		t.hasPending = true
+	}
+}
+
+// fetchThread fetches up to slots instructions from t, stopping at the
+// fetch-block boundary (the ICOUNT.2.8 cache-block rule), at a
+// mispredicted branch (the PC stream redirects), or at a syscall.
+// It returns the number of instructions fetched.
+func (m *Machine) fetchThread(t *thread, slots int) int {
+	pc := m.fetchPC(t)
+
+	// I-cache access for this block. The detector thread never reaches
+	// this path: its code lives in a private program cache.
+	iBlock := pc / uint64(m.cfg.ICacheBlockWords)
+	if iBlock+1 != t.lastIBlock {
+		lat, miss := m.hier.L1I.Access(t.id, pc*4, false)
+		t.lastIBlock = iBlock + 1
+		if miss {
+			t.st.Cum.L1IMisses++
+			t.fetchBlockedUntil = m.now + int64(lat)
+			t.blockedByIMiss = true
+			t.st.Live.IMissOut = 1
+			t.st.Cum.FetchStalls++
+			return 0
+		}
+	}
+
+	fetchBlock := pc / uint64(m.cfg.FetchBlock)
+	n := 0
+	for n < slots {
+		pc = m.fetchPC(t)
+		if pc/uint64(m.cfg.FetchBlock) != fetchBlock {
+			break // cache-block boundary: the next thread gets the slots
+		}
+		if pc/uint64(m.cfg.ICacheBlockWords)+1 != t.lastIBlock {
+			break // crossed into an unchecked I-cache block
+		}
+		if m.ifqTotal >= m.cfg.IFQSize {
+			break
+		}
+		in, wrong, mispred := m.nextInst(t)
+		t.ifq = append(t.ifq, fetchEntry{inst: in, fetchedAt: m.now, wrong: wrong, mispred: mispred})
+		m.ifqTotal++
+		n++
+
+		t.st.Cum.Fetched++
+		if wrong {
+			t.st.Cum.WrongFetched++
+		}
+		t.st.Live.PreIssue++
+		switch {
+		case in.Class.IsCtrl():
+			t.st.Live.Branches++
+		case in.Class == isa.Load:
+			t.st.Live.Loads++
+			t.st.Live.Mem++
+		case in.Class == isa.Store:
+			t.st.Live.Mem++
+		}
+
+		if mispred {
+			break // fetch redirects onto the wrong path next cycle
+		}
+		if !wrong && in.Class == isa.Syscall {
+			// Serialise: nothing more from this thread until the
+			// syscall commits and pays its penalty.
+			t.fetchBlockedUntil = farFuture
+			break
+		}
+	}
+	return n
+}
+
+// nextInst produces the next instruction for t — architectural or
+// wrong-path — handling branch prediction and mispredict detection.
+func (m *Machine) nextInst(t *thread) (in isa.Inst, wrong, mispred bool) {
+	if t.wrongPath {
+		in = t.prog.WrongPathInst(&t.wrng, t.wrongPC)
+		t.wrongPC++
+		return in, true, false
+	}
+	m.peek(t)
+	in = t.pending
+	t.hasPending = false
+
+	if in.Class == isa.Branch {
+		predTaken := m.pred.Predict(t.id, in.PC)
+		var predTarget uint64
+		if predTaken {
+			tgt, hit := m.btb.Lookup(t.id, in.PC)
+			if hit {
+				predTarget = tgt
+			} else {
+				predTaken = false // cannot redirect without a target
+			}
+		}
+		mispred = predTaken != in.Taken || (predTaken && predTarget != in.Target)
+		if mispred {
+			t.wrongPath = true
+			if predTaken {
+				t.wrongPC = predTarget
+			} else {
+				t.wrongPC = in.PC + 1
+			}
+		}
+	}
+	return in, false, mispred
+}
+
+// ------------------------------------------------------------- dispatch
+
+// dispatch renames and dispatches instructions from the fetch buffer
+// into the instruction queues, allocating ROB, LSQ and rename-register
+// resources. Threads are served round-robin; each thread dispatches in
+// order and stops at its first blocked instruction.
+func (m *Machine) dispatch() {
+	budget := m.cfg.DecodeWidth
+	n := len(m.threads)
+	start := m.renameCursor
+	m.renameCursor = (m.renameCursor + 1) % n
+	for i := 0; i < n && budget > 0; i++ {
+		t := m.threads[(start+i)%n]
+		for budget > 0 && len(t.ifq) > 0 {
+			if !m.dispatchOne(t) {
+				break
+			}
+			budget--
+		}
+	}
+}
+
+// dispatchOne tries to dispatch t's oldest fetched instruction,
+// reporting whether it moved.
+func (m *Machine) dispatchOne(t *thread) bool {
+	fe := &t.ifq[0]
+	if fe.fetchedAt+int64(m.cfg.DecodeDelay) > m.now {
+		return false // still in the decode pipe
+	}
+	cls := fe.inst.Class
+	usesFPQ := cls.IsFP()
+	isMem := cls.IsMem()
+
+	if t.robCount() >= m.cfg.ROBPerThr {
+		return false
+	}
+	if usesFPQ {
+		if len(m.fpIQ) >= m.cfg.FPIQSize {
+			return false
+		}
+	} else if len(m.intIQ) >= m.cfg.IntIQSize {
+		return false
+	}
+	if fe.inst.HasDst {
+		if usesFPQ {
+			if m.fpRegsUsed >= m.cfg.FPRegs {
+				return false
+			}
+		} else if m.intRegsUsed >= m.cfg.IntRegs {
+			return false
+		}
+	}
+	if isMem && m.lsqUsed >= m.cfg.LSQSize {
+		t.st.Cum.LSQFull++
+		return false
+	}
+
+	// Allocate.
+	idx := t.robTail
+	t.robTail++
+	e := t.entry(idx)
+	*e = robEntry{
+		inst:    fe.inst,
+		gen:     t.genCtr,
+		state:   sWaiting,
+		wrong:   fe.wrong,
+		mispred: fe.mispred,
+		usesFPQ: usesFPQ,
+		hasDst:  fe.inst.HasDst,
+		isMem:   isMem,
+		lsqHeld: isMem,
+	}
+	t.genCtr++
+	if fe.wrong {
+		// Synthetic wrong-path readiness: a short dependency chain.
+		e.readyAt = m.now + 1 + int64(fe.inst.Dep1&3)
+	} else {
+		t.doneAt[fe.inst.Seq%doneRing] = pending
+	}
+
+	if fe.inst.HasDst {
+		if usesFPQ {
+			m.fpRegsUsed++
+		} else {
+			m.intRegsUsed++
+		}
+	}
+	if isMem {
+		m.lsqUsed++
+		t.st.Live.LSQ++
+	}
+	qe := iqEntry{tid: int8(t.id), robIdx: idx, gen: e.gen}
+	if usesFPQ {
+		m.fpIQ = append(m.fpIQ, qe)
+	} else {
+		m.intIQ = append(m.intIQ, qe)
+	}
+	t.st.Live.IQ++
+	t.st.Live.ROB++
+
+	// Pop from the fetch buffer.
+	t.ifq = t.ifq[1:]
+	if len(t.ifq) == 0 {
+		t.ifq = nil
+	}
+	m.ifqTotal--
+	return true
+}
+
+// ---------------------------------------------------------------- issue
+
+// issue selects up to IssueWidth ready instructions, oldest first within
+// each queue (integer queue first, matching SimpleSMT's split queues).
+// Leftover issue bandwidth executes detector-thread work.
+func (m *Machine) issue() {
+	budget := m.cfg.IssueWidth
+	m.issueQueue(&m.intIQ, &budget)
+	m.issueQueue(&m.fpIQ, &budget)
+
+	if budget > 0 && m.dtToIssue > m.dtToFetch {
+		k := min(budget, m.dtToIssue-m.dtToFetch)
+		m.dtToIssue -= k
+		m.dtStats.IssueSlotsUsed += uint64(k)
+		if m.dtToIssue == 0 {
+			m.dtStats.JobsCompleted++
+			m.dtStats.JobCycles += uint64(m.now - m.dtJobStart)
+			if m.dtSwitchArmed {
+				m.sel.SetPolicy(m.dtSwitchTo)
+				m.dtSwitchArmed = false
+			}
+		}
+	}
+}
+
+func (m *Machine) issueQueue(q *[]iqEntry, budget *int) {
+	queue := *q
+	w := 0
+	for r := 0; r < len(queue); r++ {
+		qe := queue[r]
+		t := m.threads[qe.tid]
+		e := t.entry(qe.robIdx)
+		if e.gen != qe.gen || e.state != sWaiting {
+			continue // squashed: drop the entry
+		}
+		if *budget == 0 || !m.ready(t, e) || !m.tryIssue(t, e, qe.robIdx) {
+			queue[w] = qe
+			w++
+			continue
+		}
+		*budget--
+	}
+	*q = queue[:w]
+}
+
+// ready reports whether e's operands are available.
+func (m *Machine) ready(t *thread, e *robEntry) bool {
+	if e.wrong {
+		return m.now >= e.readyAt
+	}
+	if d := e.inst.Dep1; d != 0 && d <= maxDepWindow {
+		if p := e.inst.Seq - uint64(d); p >= 1 && t.doneAt[p%doneRing] > m.now {
+			return false
+		}
+	}
+	if d := e.inst.Dep2; d != 0 && d <= maxDepWindow {
+		if p := e.inst.Seq - uint64(d); p >= 1 && t.doneAt[p%doneRing] > m.now {
+			return false
+		}
+	}
+	return true
+}
+
+// tryIssue claims a functional unit (and the D-cache for memory ops) and
+// schedules completion. It reports whether the instruction issued.
+func (m *Machine) tryIssue(t *thread, e *robEntry, robIdx uint64) bool {
+	kind := e.inst.Class.FU()
+	units := m.fuBusy[kind]
+	unit := -1
+	for u := range units {
+		if units[u] <= m.now {
+			unit = u
+			break
+		}
+	}
+	if unit < 0 {
+		return false
+	}
+	lat := int64(e.inst.Class.Latency())
+	if e.inst.Class.Pipelined() {
+		units[unit] = m.now + 1
+	} else {
+		units[unit] = m.now + lat
+	}
+
+	switch e.inst.Class {
+	case isa.Load:
+		// MSHR admission: a load that would miss cannot issue while
+		// all miss-status registers are busy (it retries next cycle).
+		if m.cfg.MSHRs > 0 && m.dMissTotal >= m.cfg.MSHRs && !m.hier.L1D.Probe(e.inst.Addr) {
+			t.st.Cum.MSHRFull++
+			units[unit] = m.now // release the claimed port
+			return false
+		}
+		dlat, miss := m.hier.L1D.Access(t.id, e.inst.Addr, false)
+		lat += int64(dlat)
+		if miss {
+			t.st.Cum.L1DMisses++
+			e.dMissOut = true
+			t.st.Live.DMissOut++
+			m.dMissTotal++
+		}
+	case isa.Store:
+		// The store buffer hides store latency from the pipeline; the
+		// cache sees the write (and any miss traffic) now.
+		_, miss := m.hier.L1D.Access(t.id, e.inst.Addr, true)
+		if miss {
+			t.st.Cum.L1DMisses++
+		}
+		lat = 1
+	}
+
+	e.state = sIssued
+	e.completeAt = m.now + lat
+	if e.completeAt-m.now >= eventRing {
+		panic(fmt.Sprintf("pipeline: completion latency %d exceeds event ring", e.completeAt-m.now))
+	}
+	m.events[e.completeAt%eventRing] = append(m.events[e.completeAt%eventRing],
+		event{tid: int8(t.id), robIdx: robIdx, gen: e.gen})
+	t.st.Live.IQ--
+	t.st.Live.PreIssue--
+	// BRCOUNT, LDCOUNT and MEMCOUNT count instructions in the pre-issue
+	// stages (decode, rename, the queues), per Tullsen et al.; the
+	// outstanding-miss gauges (dMissOut) track post-issue state.
+	switch {
+	case e.inst.Class.IsCtrl():
+		t.st.Live.Branches--
+	case e.inst.Class == isa.Load:
+		t.st.Live.Loads--
+		t.st.Live.Mem--
+	case e.inst.Class == isa.Store:
+		t.st.Live.Mem--
+	}
+	return true
+}
+
+// --------------------------------------------------------- completions
+
+// processCompletions retires execution of instructions whose latency
+// expires this cycle: wakes dependents, resolves branches (training the
+// predictor and squashing wrong paths), and marks entries committable.
+func (m *Machine) processCompletions() {
+	bucket := &m.events[m.now%eventRing]
+	for _, ev := range *bucket {
+		t := m.threads[ev.tid]
+		e := t.entry(ev.robIdx)
+		if e.gen != ev.gen || e.state != sIssued {
+			continue // squashed, or the slot was reused
+		}
+		e.state = sDone
+		in := &e.inst
+		if in.Class == isa.Load {
+			if e.dMissOut {
+				e.dMissOut = false
+				t.st.Live.DMissOut--
+				m.dMissTotal--
+			}
+			// Loads release their LSQ entry once the value returns;
+			// stores hold theirs until commit.
+			if e.lsqHeld {
+				e.lsqHeld = false
+				m.lsqUsed--
+				t.st.Live.LSQ--
+			}
+		}
+		if e.wrong {
+			continue
+		}
+		t.doneAt[in.Seq%doneRing] = m.now
+		switch in.Class {
+		case isa.Branch:
+			m.pred.Update(t.id, in.PC, in.Taken)
+			if in.Taken {
+				m.btb.Insert(t.id, in.PC, in.Target)
+			}
+			if e.mispred {
+				t.st.Cum.Mispredicts++
+				m.squashWrongPath(t, ev.robIdx)
+			}
+		case isa.Jump:
+			m.btb.Insert(t.id, in.PC, in.Target)
+		}
+	}
+	*bucket = (*bucket)[:0]
+}
+
+// squashWrongPath removes everything younger than the resolved branch at
+// brIdx from t's fetch buffer, queues and ROB, releasing the shared
+// resources wrong-path execution was holding, and redirects fetch.
+func (m *Machine) squashWrongPath(t *thread, brIdx uint64) {
+	// Everything still in the fetch buffer is younger than the branch.
+	for i := range t.ifq {
+		fe := &t.ifq[i]
+		t.st.Live.PreIssue--
+		switch {
+		case fe.inst.Class.IsCtrl():
+			t.st.Live.Branches--
+		case fe.inst.Class == isa.Load:
+			t.st.Live.Loads--
+			t.st.Live.Mem--
+		case fe.inst.Class == isa.Store:
+			t.st.Live.Mem--
+		}
+		m.ifqTotal--
+	}
+	t.ifq = nil
+
+	for idx := t.robTail; idx > brIdx+1; idx-- {
+		e := t.entry(idx - 1)
+		if !e.wrong {
+			panic("pipeline: squashing an architectural instruction")
+		}
+		switch e.state {
+		case sWaiting:
+			t.st.Live.IQ--
+			t.st.Live.PreIssue--
+			switch {
+			case e.inst.Class.IsCtrl():
+				t.st.Live.Branches--
+			case e.inst.Class == isa.Load:
+				t.st.Live.Loads--
+				t.st.Live.Mem--
+			case e.inst.Class == isa.Store:
+				t.st.Live.Mem--
+			}
+		case sIssued:
+			if e.dMissOut {
+				e.dMissOut = false
+				t.st.Live.DMissOut--
+				m.dMissTotal--
+			}
+		}
+		if e.hasDst {
+			if e.usesFPQ {
+				m.fpRegsUsed--
+			} else {
+				m.intRegsUsed--
+			}
+		}
+		if e.lsqHeld {
+			e.lsqHeld = false
+			m.lsqUsed--
+			t.st.Live.LSQ--
+		}
+		t.st.Live.ROB--
+		e.state = sSquashed
+	}
+	t.robTail = brIdx + 1
+
+	// Purge queue entries referencing squashed slots.
+	purge := func(q *[]iqEntry) {
+		queue := *q
+		w := 0
+		for _, qe := range queue {
+			if int(qe.tid) == t.id && qe.robIdx > brIdx {
+				continue
+			}
+			queue[w] = qe
+			w++
+		}
+		*q = queue[:w]
+	}
+	purge(&m.intIQ)
+	purge(&m.fpIQ)
+
+	t.wrongPath = false
+	t.wrongPC = 0
+	t.lastIBlock = 0 // redirect: refetch the I-cache block
+	if t.fetchBlockedUntil < m.now+1 {
+		t.fetchBlockedUntil = m.now + 1 // one-cycle redirect bubble
+	}
+}
+
+// --------------------------------------------------------------- commit
+
+// commit retires completed instructions in order per thread, up to
+// CommitWidth total per cycle, rotating the starting thread for
+// fairness. It also implements the conservative syscall drain.
+func (m *Machine) commit() {
+	budget := m.cfg.CommitWidth
+	n := len(m.threads)
+	start := m.commitCursor
+	m.commitCursor = (m.commitCursor + 1) % n
+	for i := 0; i < n && budget > 0; i++ {
+		t := m.threads[(start+i)%n]
+		c := 0
+		for budget > 0 && t.robCount() > 0 {
+			e := t.entry(t.robHead)
+			if e.state != sDone {
+				break
+			}
+			if e.wrong {
+				panic("pipeline: wrong-path instruction reached ROB head")
+			}
+			if e.inst.Class == isa.Syscall && !m.commitSyscallReady(t) {
+				break
+			}
+			m.commitEntry(t, e)
+			t.robHead++
+			budget--
+			c++
+		}
+		m.committedNow[(start+i)%n] = c
+	}
+	for i, t := range m.threads {
+		if t.robCount() > 0 && m.committedNow[i] == 0 {
+			t.st.QuantumStalls++
+		}
+		m.committedNow[i] = 0
+	}
+}
+
+// commitSyscallReady implements the paper's conservative assumption:
+// "when a thread encounters a system call, all threads have to flush out
+// of the pipeline before the system call can be started". We model the
+// flush as a global drain: fetch stops machine-wide, in-flight work
+// completes, and only then does the syscall commit and pay its penalty.
+func (m *Machine) commitSyscallReady(t *thread) bool {
+	if !m.draining {
+		m.draining = true
+		m.drainTid = t.id
+	}
+	if m.drainTid != t.id {
+		return false // one syscall drains at a time
+	}
+	if m.drainBlockers() > 0 {
+		return false
+	}
+	m.draining = false
+	t.st.Cum.Syscalls++
+	t.fetchBlockedUntil = m.now + int64(m.cfg.SyscallPenalty)
+	return true
+}
+
+// drainBlockers counts in-flight work other than ROB-head syscalls that
+// are themselves waiting to drain.
+func (m *Machine) drainBlockers() int {
+	blockers := 0
+	for _, t := range m.threads {
+		blockers += len(t.ifq)
+		for idx := t.robHead; idx < t.robTail; idx++ {
+			e := t.entry(idx)
+			if idx == t.robHead && e.inst.Class == isa.Syscall && e.state == sDone && !e.wrong {
+				continue
+			}
+			blockers++
+		}
+	}
+	return blockers
+}
+
+// commitEntry retires one instruction, updating architectural counters
+// and freeing its resources.
+func (m *Machine) commitEntry(t *thread, e *robEntry) {
+	c := &t.st.Cum
+	c.Committed++
+	switch e.inst.Class {
+	case isa.Branch:
+		c.Branches++
+		c.CondBranches++
+	case isa.Jump:
+		c.Branches++
+	case isa.Load:
+		c.Loads++
+	case isa.Store:
+		c.Stores++
+	}
+	if e.hasDst {
+		if e.usesFPQ {
+			m.fpRegsUsed--
+		} else {
+			m.intRegsUsed--
+		}
+	}
+	if e.lsqHeld {
+		e.lsqHeld = false
+		m.lsqUsed--
+		t.st.Live.LSQ--
+	}
+	t.st.Live.ROB--
+	e.state = sSquashed // slot free
+}

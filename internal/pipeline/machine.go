@@ -1,0 +1,459 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/counters"
+	"repro/internal/isa"
+	"repro/internal/policy"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+const (
+	// doneRing is the per-thread completion-ring size. Dependency
+	// distances larger than maxDepWindow are treated as already
+	// satisfied (the producer left the pipeline long ago), so ring
+	// slots are never consulted stale.
+	doneRing     = 2048
+	maxDepWindow = 512
+
+	// eventRing buckets completion events by cycle; it must exceed the
+	// largest possible completion latency (DRAM + L2 + L1 + FU).
+	eventRing = 256
+
+	// pending marks a not-yet-completed instruction in the done ring.
+	pending = math.MaxInt64
+)
+
+type entryState uint8
+
+const (
+	sWaiting  entryState = iota // in an instruction queue
+	sIssued                     // executing
+	sDone                       // complete, awaiting commit
+	sSquashed                   // squashed; slot awaiting reuse
+)
+
+// robEntry is one in-flight instruction owned by a thread's ROB ring.
+type robEntry struct {
+	inst       isa.Inst
+	gen        uint32
+	state      entryState
+	wrong      bool  // wrong-path instruction
+	mispred    bool  // real branch known (to the trace) to be mispredicted
+	readyAt    int64 // wrong-path synthetic readiness
+	completeAt int64
+	dMissOut   bool // load with an outstanding L1D miss
+	usesFPQ    bool
+	hasDst     bool
+	isMem      bool
+	lsqHeld    bool // occupies a load/store-queue entry
+}
+
+// fetchEntry is one instruction in the shared fetch buffer.
+type fetchEntry struct {
+	inst      isa.Inst
+	fetchedAt int64
+	wrong     bool
+	mispred   bool
+}
+
+// iqEntry references a ROB entry from an instruction queue. gen detects
+// slot reuse after a squash.
+type iqEntry struct {
+	tid    int8
+	robIdx uint64
+	gen    uint32
+}
+
+type event struct {
+	tid    int8
+	robIdx uint64
+	gen    uint32
+}
+
+// thread is one normal hardware context.
+type thread struct {
+	id   int
+	prog *trace.Program
+	wrng rng.PRNG // wrong-path instruction stream
+
+	pending    isa.Inst // peeked next architectural instruction
+	hasPending bool
+
+	wrongPath bool
+	wrongPC   uint64
+
+	fetchBlockedUntil int64
+	blockedByIMiss    bool
+	lastIBlock        uint64 // last I-cache block accessed (+1, 0 = none)
+
+	ifq []fetchEntry // this thread's slice of the shared fetch buffer
+
+	rob              []robEntry // ring; physical size is a power of two
+	robMask          uint64     // len(rob) - 1
+	robHead, robTail uint64     // monotonic indices; slot = idx & robMask
+	genCtr           uint32
+
+	doneAt []int64 // completion cycles by seq % doneRing
+
+	st counters.State
+}
+
+func (t *thread) robCount() int { return int(t.robTail - t.robHead) }
+
+func (t *thread) entry(idx uint64) *robEntry { return &t.rob[idx&t.robMask] }
+
+// DTStats reports the detector-thread cost model's bookkeeping.
+type DTStats struct {
+	FetchSlotsUsed uint64 // leftover fetch slots consumed by the DT
+	IssueSlotsUsed uint64 // leftover issue slots consumed by the DT
+	JobsScheduled  uint64
+	JobsCompleted  uint64
+	JobsPreempted  uint64 // job replaced before completion (budget overrun)
+	JobCycles      uint64 // total cycles from job schedule to completion
+}
+
+// Machine is the SMT core. All state is deterministic plain data; Clone
+// produces an independent machine that replays an identical future.
+type Machine struct {
+	cfg     Config
+	now     int64
+	threads []*thread
+
+	sel  *policy.Selector
+	pred branch.Predictor
+	btb  *branch.BTB
+	hier *cache.Hierarchy
+
+	intIQ, fpIQ []iqEntry
+	ifqTotal    int
+	lsqUsed     int
+	dMissTotal  int // outstanding L1D load misses machine-wide (MSHR occupancy)
+	intRegsUsed int
+	fpRegsUsed  int
+
+	fuBusy [isa.NumFU][]int64 // per-unit reserved-until cycles
+
+	events [eventRing][]event
+
+	commitCursor int
+	renameCursor int
+
+	// Syscall drain state (conservative flush, paper §6).
+	draining bool
+	drainTid int
+
+	committedNow []int // per-cycle commit scratch for stall accounting
+
+	// Detector-thread job model.
+	dtToFetch     int
+	dtToIssue     int
+	dtSwitchArmed bool
+	dtSwitchTo    policy.Policy
+	dtJobStart    int64
+	dtStats       DTStats
+
+	statesView []*counters.State
+	orderBuf   []int
+}
+
+// New builds a machine running the given programs (one per context).
+// seed feeds the wrong-path generators only; all architectural behaviour
+// comes from the programs.
+func New(cfg Config, progs []*trace.Program, seed uint64) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(progs) == 0 {
+		panic("pipeline: need at least one program")
+	}
+	n := len(progs)
+	root := rng.New(seed ^ 0xd1b54a32d192ed03)
+	pred, err := branch.NewKind(cfg.PredictorKind, cfg.GShareEntries, cfg.HistoryBits, n)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.PredictorKind == branch.KindHybrid || cfg.PredictorKind == "" {
+		// The hybrid gets its full three-table geometry.
+		pred = branch.NewHybrid(cfg.BimodalEntries, cfg.GShareEntries, cfg.MetaEntries, cfg.HistoryBits, n)
+	}
+	m := &Machine{
+		cfg:  cfg,
+		sel:  policy.NewSelector(cfg.InitialPolicy, n),
+		pred: pred,
+		btb:  branch.NewBTB(cfg.BTBSets, cfg.BTBWays),
+		hier: cache.NewHierarchy(cfg.Hierarchy, n),
+	}
+	for k := range m.fuBusy {
+		m.fuBusy[k] = make([]int64, cfg.FUs[k])
+	}
+	m.threads = make([]*thread, n)
+	m.statesView = make([]*counters.State, n)
+	m.orderBuf = make([]int, n)
+	m.committedNow = make([]int, n)
+	for i, p := range progs {
+		robPhys := 1
+		for robPhys < cfg.ROBPerThr {
+			robPhys <<= 1
+		}
+		t := &thread{
+			id:      i,
+			prog:    p,
+			wrng:    root.Split(),
+			rob:     make([]robEntry, robPhys),
+			robMask: uint64(robPhys - 1),
+			doneAt:  make([]int64, doneRing),
+		}
+		m.threads[i] = t
+		m.statesView[i] = &t.st
+	}
+	return m
+}
+
+// Clone returns an independent deep copy. The clone and the original
+// diverge only through future SetPolicy / flag calls — identical inputs
+// replay identical cycles (the oracle scheduler depends on this).
+func (m *Machine) Clone() *Machine {
+	nm := &Machine{
+		cfg:           m.cfg,
+		now:           m.now,
+		sel:           m.sel.Clone(),
+		pred:          m.pred.Clone(),
+		btb:           m.btb.Clone(),
+		hier:          m.hier.Clone(),
+		ifqTotal:      m.ifqTotal,
+		lsqUsed:       m.lsqUsed,
+		dMissTotal:    m.dMissTotal,
+		intRegsUsed:   m.intRegsUsed,
+		fpRegsUsed:    m.fpRegsUsed,
+		commitCursor:  m.commitCursor,
+		renameCursor:  m.renameCursor,
+		draining:      m.draining,
+		drainTid:      m.drainTid,
+		dtToFetch:     m.dtToFetch,
+		dtToIssue:     m.dtToIssue,
+		dtSwitchArmed: m.dtSwitchArmed,
+		dtSwitchTo:    m.dtSwitchTo,
+		dtJobStart:    m.dtJobStart,
+		dtStats:       m.dtStats,
+	}
+	nm.intIQ = append([]iqEntry(nil), m.intIQ...)
+	nm.fpIQ = append([]iqEntry(nil), m.fpIQ...)
+	for k := range m.fuBusy {
+		nm.fuBusy[k] = append([]int64(nil), m.fuBusy[k]...)
+	}
+	for i := range m.events {
+		nm.events[i] = append([]event(nil), m.events[i]...)
+	}
+	nm.threads = make([]*thread, len(m.threads))
+	nm.statesView = make([]*counters.State, len(m.threads))
+	nm.orderBuf = make([]int, len(m.orderBuf))
+	nm.committedNow = make([]int, len(m.committedNow))
+	for i, t := range m.threads {
+		nt := &thread{
+			id:                t.id,
+			robMask:           t.robMask,
+			prog:              t.prog.Clone(),
+			wrng:              t.wrng,
+			pending:           t.pending,
+			hasPending:        t.hasPending,
+			wrongPath:         t.wrongPath,
+			wrongPC:           t.wrongPC,
+			fetchBlockedUntil: t.fetchBlockedUntil,
+			blockedByIMiss:    t.blockedByIMiss,
+			lastIBlock:        t.lastIBlock,
+			robHead:           t.robHead,
+			robTail:           t.robTail,
+			genCtr:            t.genCtr,
+			st:                t.st,
+		}
+		nt.ifq = append([]fetchEntry(nil), t.ifq...)
+		nt.rob = append([]robEntry(nil), t.rob...)
+		nt.doneAt = append([]int64(nil), t.doneAt...)
+		nm.threads[i] = nt
+		nm.statesView[i] = &nt.st
+	}
+	return nm
+}
+
+// Now returns the current cycle.
+func (m *Machine) Now() int64 { return m.now }
+
+// NumThreads returns the number of normal hardware contexts.
+func (m *Machine) NumThreads() int { return len(m.threads) }
+
+// Config returns the machine geometry.
+func (m *Machine) Config() Config { return m.cfg }
+
+// State returns the live per-thread status view (counters, gauges,
+// flags). The pointer stays valid for the machine's lifetime.
+func (m *Machine) State(tid int) *counters.State { return &m.threads[tid].st }
+
+// States returns all per-thread status views, indexed by context id.
+func (m *Machine) States() []*counters.State { return m.statesView }
+
+// Policy returns the currently engaged fetch policy.
+func (m *Machine) Policy() policy.Policy { return m.sel.Policy() }
+
+// SetPolicy switches the fetch policy immediately, bypassing the
+// detector-thread cost model (used for fixed-policy runs and by the
+// oracle).
+func (m *Machine) SetPolicy(p policy.Policy) { m.sel.SetPolicy(p) }
+
+// SetFlags updates a thread's control flags (the detector thread's
+// write port).
+func (m *Machine) SetFlags(tid int, f counters.Flags) { m.threads[tid].st.Flags = f }
+
+// Hierarchy exposes the cache hierarchy for inspection.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Predictor exposes the branch predictor for inspection.
+func (m *Machine) Predictor() branch.Predictor { return m.pred }
+
+// DTStats returns the detector-thread cost-model statistics.
+func (m *Machine) DTStats() DTStats { return m.dtStats }
+
+// DetectorBusy reports whether a detector job is still running.
+func (m *Machine) DetectorBusy() bool { return m.dtToIssue > 0 }
+
+// ScheduleDetectorJob models the detector thread executing work
+// instructions using only leftover fetch and issue slots. If doSwitch,
+// the fetch policy switches to switchTo at the cycle the job completes —
+// not before: an overloaded pipeline delays its own remedy, exactly the
+// ADTS cost model of the paper. A job scheduled while one is running
+// preempts it (counted in DTStats.JobsPreempted).
+func (m *Machine) ScheduleDetectorJob(work int, switchTo policy.Policy, doSwitch bool) {
+	if work <= 0 {
+		work = 1
+	}
+	if m.dtToIssue > 0 {
+		m.dtStats.JobsPreempted++
+	}
+	m.dtStats.JobsScheduled++
+	m.dtToFetch = work
+	m.dtToIssue = work
+	m.dtSwitchArmed = doSwitch
+	m.dtSwitchTo = switchTo
+	m.dtJobStart = m.now
+}
+
+// TotalCommitted returns committed instructions summed over threads.
+func (m *Machine) TotalCommitted() uint64 {
+	var n uint64
+	for _, t := range m.threads {
+		n += t.st.Cum.Committed
+	}
+	return n
+}
+
+// AggregateIPC returns committed instructions per cycle so far.
+func (m *Machine) AggregateIPC() float64 {
+	if m.now == 0 {
+		return 0
+	}
+	return float64(m.TotalCommitted()) / float64(m.now)
+}
+
+// Run advances the machine n cycles.
+func (m *Machine) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		m.Cycle()
+	}
+}
+
+// CheckInvariants recounts every occupancy gauge and shared-resource
+// counter from first principles and returns an error on any mismatch.
+// Tests call it; it is O(machine size) and not meant for per-cycle use.
+func (m *Machine) CheckInvariants() error {
+	ifqTotal, lsq, intRegs, fpRegs := 0, 0, 0, 0
+	for _, t := range m.threads {
+		preIssue, iq, brs, loads, mem, dmiss, rob, lsqT := 0, 0, 0, 0, 0, 0, 0, 0
+		for _, fe := range t.ifq {
+			preIssue++
+			if fe.inst.Class.IsCtrl() {
+				brs++
+			}
+			switch fe.inst.Class {
+			case isa.Load:
+				loads++
+				mem++
+			case isa.Store:
+				mem++
+			}
+		}
+		ifqTotal += len(t.ifq)
+		for idx := t.robHead; idx < t.robTail; idx++ {
+			e := t.entry(idx)
+			if e.state == sSquashed {
+				return fmt.Errorf("thread %d: squashed entry %d inside live ROB window", t.id, idx)
+			}
+			rob++
+			if e.hasDst {
+				if e.inst.Class.IsFP() {
+					fpRegs++
+				} else {
+					intRegs++
+				}
+			}
+			if e.lsqHeld {
+				lsqT++
+			}
+			if e.state == sWaiting {
+				iq++
+				preIssue++
+				switch {
+				case e.inst.Class.IsCtrl():
+					brs++
+				case e.inst.Class == isa.Load:
+					loads++
+					mem++
+				case e.inst.Class == isa.Store:
+					mem++
+				}
+			}
+			if e.dMissOut {
+				dmiss++
+			}
+		}
+		g := t.st.Live
+		if g.PreIssue != preIssue || g.IQ != iq || g.Branches != brs ||
+			g.Loads != loads || g.Mem != mem || g.DMissOut != dmiss || g.ROB != rob || g.LSQ != lsqT {
+			return fmt.Errorf("thread %d gauge mismatch: have %+v want preIssue=%d iq=%d brs=%d loads=%d mem=%d dmiss=%d rob=%d lsq=%d",
+				t.id, g, preIssue, iq, brs, loads, mem, dmiss, rob, lsqT)
+		}
+		lsq += lsqT
+	}
+	if ifqTotal != m.ifqTotal {
+		return fmt.Errorf("ifqTotal mismatch: have %d want %d", m.ifqTotal, ifqTotal)
+	}
+	if lsq != m.lsqUsed {
+		return fmt.Errorf("lsqUsed mismatch: have %d want %d", m.lsqUsed, lsq)
+	}
+	dmissTotal := 0
+	for _, t := range m.threads {
+		dmissTotal += t.st.Live.DMissOut
+	}
+	if dmissTotal != m.dMissTotal {
+		return fmt.Errorf("dMissTotal mismatch: have %d want %d", m.dMissTotal, dmissTotal)
+	}
+	if intRegs != m.intRegsUsed || fpRegs != m.fpRegsUsed {
+		return fmt.Errorf("rename pools mismatch: have int=%d fp=%d want int=%d fp=%d",
+			m.intRegsUsed, m.fpRegsUsed, intRegs, fpRegs)
+	}
+	// IQ entries must reference live waiting entries.
+	for _, q := range [][]iqEntry{m.intIQ, m.fpIQ} {
+		for _, qe := range q {
+			t := m.threads[qe.tid]
+			e := t.entry(qe.robIdx)
+			if e.gen != qe.gen || e.state != sWaiting {
+				return fmt.Errorf("stale IQ entry: thread %d robIdx %d", qe.tid, qe.robIdx)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TestRandomGeometriesKeepInvariants is the pipeline's fuzz test: random
+// (small but legal) machine geometries and thread counts must run
+// without panicking and with every occupancy gauge exact.
+func TestRandomGeometriesKeepInvariants(t *testing.T) {
+	mixes := trace.Mixes()
+	f := func(seed uint64, raw [10]uint8) bool {
+		r := rng.New(seed)
+		cfg := DefaultConfig()
+		cfg.FetchWidth = 1 + int(raw[0]%8)
+		cfg.FetchThreads = 1 + int(raw[1]%4)
+		cfg.DecodeWidth = 1 + int(raw[2]%8)
+		cfg.IssueWidth = 1 + int(raw[3]%8)
+		cfg.CommitWidth = 1 + int(raw[4]%8)
+		cfg.IFQSize = 4 + int(raw[5]%32)
+		cfg.IntIQSize = 4 + int(raw[6]%32)
+		cfg.FPIQSize = 4 + int(raw[6]%32)
+		cfg.ROBPerThr = 8 + int(raw[7]%56)
+		cfg.LSQSize = 4 + int(raw[8]%60)
+		cfg.IntRegs = 16 + int(raw[9]%112)
+		cfg.FPRegs = 16 + int(raw[9]%112)
+		cfg.DecodeDelay = int(raw[0] % 4)
+		threads := 1 + r.Intn(8)
+		mix := mixes[r.Intn(len(mixes))]
+		progs, err := mix.Programs(threads, seed)
+		if err != nil {
+			return false
+		}
+		m := New(cfg, progs, seed)
+		m.Run(3000)
+		if err := m.CheckInvariants(); err != nil {
+			t.Logf("geometry %+v threads=%d mix=%s: %v", cfg, threads, mix.Name, err)
+			return false
+		}
+		return m.TotalCommitted() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNarrowMachine exercises the degenerate 1-wide machine.
+func TestNarrowMachine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FetchWidth = 1
+	cfg.FetchThreads = 1
+	cfg.DecodeWidth = 1
+	cfg.IssueWidth = 1
+	cfg.CommitWidth = 1
+	mix, _ := trace.MixByName("int-compute")
+	progs, _ := mix.Programs(2, 1)
+	m := New(cfg, progs, 1)
+	m.Run(20000)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if ipc := m.AggregateIPC(); ipc > 1 {
+		t.Fatalf("1-wide machine produced IPC %.3f > 1", ipc)
+	}
+	if m.TotalCommitted() == 0 {
+		t.Fatal("1-wide machine made no progress")
+	}
+}
+
+// TestTinySharedResources: pathologically small shared pools must
+// throttle but never wedge the machine.
+func TestTinySharedResources(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IFQSize = 4
+	cfg.IntIQSize = 4
+	cfg.FPIQSize = 4
+	cfg.LSQSize = 4
+	cfg.IntRegs = 8
+	cfg.FPRegs = 8
+	mix, _ := trace.MixByName("memory-mixed")
+	progs, _ := mix.Programs(8, 3)
+	m := New(cfg, progs, 3)
+	m.Run(30000)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCommitted() == 0 {
+		t.Fatal("machine wedged under tiny shared pools")
+	}
+}
+
+// TestLongRunStability: a longer run (several phase generations,
+// syscalls, squashes) stays consistent and makes steady progress.
+func TestLongRunStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	m := func() *Machine {
+		mix, _ := trace.MixByName("kitchen-sink")
+		progs, _ := mix.Programs(8, 99)
+		return New(DefaultConfig(), progs, 99)
+	}()
+	var lastCommitted uint64
+	for i := 0; i < 10; i++ {
+		m.Run(20000)
+		c := m.TotalCommitted()
+		if c == lastCommitted {
+			t.Fatalf("no progress in window %d", i)
+		}
+		lastCommitted = c
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventRingNeverOverflows: the completion event ring asserts on
+// latencies >= eventRing; a config with the largest latencies must not
+// trip it.
+func TestEventRingNeverOverflows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hierarchy.MemLat = eventRing - cfg.Hierarchy.L2.HitLat - cfg.Hierarchy.L1D.HitLat - 25
+	mix, _ := trace.MixByName("mixed-lowipc")
+	progs, _ := mix.Programs(8, 1)
+	m := New(cfg, progs, 1)
+	// Panics inside Run would fail the test.
+	m.Run(30000)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMSHRLimit: with a tiny MSHR pool, outstanding misses never exceed
+// it and MSHR-full rejections occur under a memory-bound mix.
+func TestMSHRLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 4
+	mix, _ := trace.MixByName("mixed-lowipc")
+	progs, _ := mix.Programs(8, 1)
+	m := New(cfg, progs, 1)
+	var rejections uint64
+	for step := 0; step < 200; step++ {
+		m.Run(100)
+		total := 0
+		for i := 0; i < 8; i++ {
+			total += m.State(i).Live.DMissOut
+		}
+		if total > 4 {
+			t.Fatalf("outstanding misses %d exceed 4 MSHRs", total)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		rejections += m.State(i).Cum.MSHRFull
+	}
+	if rejections == 0 {
+		t.Fatal("no MSHR-full rejections under a memory-bound mix with 4 MSHRs")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCommitted() == 0 {
+		t.Fatal("machine wedged under MSHR limit")
+	}
+}
+
+// TestMSHRUnlimitedMatchesDefault: MSHRs=0 must be behaviour-identical
+// to the pre-MSHR machine (it is the default for all recorded results).
+func TestMSHRUnlimitedMatchesDefault(t *testing.T) {
+	mix, _ := trace.MixByName("kitchen-sink")
+	p1, _ := mix.Programs(8, 1)
+	p2, _ := mix.Programs(8, 1)
+	a := New(DefaultConfig(), p1, 1)
+	cfg := DefaultConfig()
+	cfg.MSHRs = 0
+	b := New(cfg, p2, 1)
+	a.Run(20000)
+	b.Run(20000)
+	if a.TotalCommitted() != b.TotalCommitted() {
+		t.Fatal("MSHRs=0 changed behaviour")
+	}
+}

@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"repro/internal/counters"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// SwapProgram context-switches hardware context tid to a new program:
+// everything the old job had in flight is flushed (squashed, with all
+// shared resources released), and fetch stays blocked for penalty
+// cycles to model the switch cost. Cumulative counters keep
+// accumulating across jobs; the caller (the job-scheduler layer)
+// attributes deltas to jobs.
+//
+// The caches and predictors deliberately retain the old job's state:
+// on a real SMT the incoming job inherits a polluted cache, and that
+// cold-start cost is part of what job-scheduling studies measure.
+func (m *Machine) SwapProgram(tid int, prog *trace.Program, penalty int) {
+	t := m.threads[tid]
+	m.flushThread(t)
+	t.prog = prog
+	t.hasPending = false
+	t.pending = isa.Inst{}
+	t.wrongPath = false
+	t.wrongPC = 0
+	t.lastIBlock = 0
+	t.fetchBlockedUntil = m.now + int64(penalty)
+	t.st.Flags = counters.Flags{}
+}
+
+// StallAllFetch blocks fetch on every context until now+penalty: the
+// cost of the job scheduler itself occupying the processor at a slice
+// boundary (§3: the detector thread exists partly to shorten this).
+func (m *Machine) StallAllFetch(penalty int) {
+	until := m.now + int64(penalty)
+	for _, t := range m.threads {
+		if t.fetchBlockedUntil < until {
+			t.fetchBlockedUntil = until
+		}
+	}
+}
+
+// flushThread squashes every in-flight instruction of t — fetch buffer,
+// queues, executing and completed-but-uncommitted — releasing shared
+// resources exactly as the invariant checker counts them.
+func (m *Machine) flushThread(t *thread) {
+	// Fetch buffer.
+	for i := range t.ifq {
+		fe := &t.ifq[i]
+		t.st.Live.PreIssue--
+		switch {
+		case fe.inst.Class.IsCtrl():
+			t.st.Live.Branches--
+		case fe.inst.Class == isa.Load:
+			t.st.Live.Loads--
+			t.st.Live.Mem--
+		case fe.inst.Class == isa.Store:
+			t.st.Live.Mem--
+		}
+		m.ifqTotal--
+	}
+	t.ifq = nil
+
+	// ROB window, youngest first.
+	for idx := t.robTail; idx > t.robHead; idx-- {
+		e := t.entry(idx - 1)
+		switch e.state {
+		case sWaiting:
+			t.st.Live.IQ--
+			t.st.Live.PreIssue--
+			switch {
+			case e.inst.Class.IsCtrl():
+				t.st.Live.Branches--
+			case e.inst.Class == isa.Load:
+				t.st.Live.Loads--
+				t.st.Live.Mem--
+			case e.inst.Class == isa.Store:
+				t.st.Live.Mem--
+			}
+		case sIssued:
+			if e.dMissOut {
+				e.dMissOut = false
+				t.st.Live.DMissOut--
+				m.dMissTotal--
+			}
+		}
+		if e.hasDst {
+			if e.usesFPQ {
+				m.fpRegsUsed--
+			} else {
+				m.intRegsUsed--
+			}
+		}
+		if e.lsqHeld {
+			e.lsqHeld = false
+			m.lsqUsed--
+			t.st.Live.LSQ--
+		}
+		t.st.Live.ROB--
+		e.state = sSquashed
+	}
+	t.robHead = t.robTail
+
+	// Queue entries referencing the flushed window.
+	purge := func(q *[]iqEntry) {
+		queue := *q
+		w := 0
+		for _, qe := range queue {
+			if int(qe.tid) == t.id {
+				continue
+			}
+			queue[w] = qe
+			w++
+		}
+		*q = queue[:w]
+	}
+	purge(&m.intIQ)
+	purge(&m.fpIQ)
+
+	// A syscall drain owned by this thread dies with it.
+	if m.draining && m.drainTid == t.id {
+		m.draining = false
+	}
+	t.blockedByIMiss = false
+	t.st.Live.IMissOut = 0
+}

@@ -1,0 +1,222 @@
+// Package policy implements the ten SMT fetch policies of the paper's
+// Table 1. A fetch policy orders the hardware contexts each cycle; the
+// fetch stage then takes instructions from the first (up to two) fetchable
+// threads in that order (ICOUNT.2.8).
+//
+// ICOUNT, BRCOUNT, the MISSCOUNT family and RR follow Tullsen et al.
+// ("Exploiting Choice", ISCA'96): the count is of the thread's
+// instructions currently in the pre-issue stages or in flight, so the
+// policy steers fetch away from threads that are clogging that resource
+// right now. LDCOUNT, MEMCOUNT, ACCIPC and STALLCOUNT are the paper's
+// additions.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+)
+
+// Policy identifies a fetch policy.
+type Policy uint8
+
+// The ten fetch policies of Table 1.
+const (
+	// RR is oblivious round-robin scheduling.
+	RR Policy = iota
+	// ICOUNT prioritises threads with the fewest instructions in the
+	// decode/rename stages and the instruction queues. The paper's (and
+	// Tullsen's) best fixed policy, and ADTS's default incumbent.
+	ICOUNT
+	// BRCOUNT prioritises threads with the fewest unresolved branches
+	// in flight, throttling wrong-path-prone threads.
+	BRCOUNT
+	// LDCOUNT prioritises threads with the fewest loads in flight.
+	LDCOUNT
+	// MEMCOUNT prioritises threads with the fewest memory accesses in
+	// flight.
+	MEMCOUNT
+	// L1MISSCOUNT prioritises threads with the fewest outstanding L1
+	// (instruction + data) cache misses.
+	L1MISSCOUNT
+	// L1IMISSCOUNT prioritises threads with the fewest outstanding L1
+	// instruction-cache misses.
+	L1IMISSCOUNT
+	// L1DMISSCOUNT prioritises threads with the fewest outstanding L1
+	// data-cache misses.
+	L1DMISSCOUNT
+	// ACCIPC prioritises threads with the highest accumulated IPC:
+	// threads whose instructions drain fastest get the fetch slots.
+	ACCIPC
+	// STALLCOUNT prioritises threads that have incurred the fewest
+	// stall cycles in the current quantum.
+	STALLCOUNT
+	NumPolicies
+)
+
+var names = [NumPolicies]string{
+	"RR", "ICOUNT", "BRCOUNT", "LDCOUNT", "MEMCOUNT",
+	"L1MISSCOUNT", "L1IMISSCOUNT", "L1DMISSCOUNT", "ACCIPC", "STALLCOUNT",
+}
+
+func (p Policy) String() string {
+	if int(p) < len(names) {
+		return names[p]
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Parse returns the policy with the given name (as printed by String).
+func Parse(name string) (Policy, error) {
+	for i, n := range names {
+		if n == name {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// All returns all ten policies in Table 1 order.
+func All() []Policy {
+	out := make([]Policy, NumPolicies)
+	for i := range out {
+		out[i] = Policy(i)
+	}
+	return out
+}
+
+// Description returns the Table 1 description of the policy.
+func (p Policy) Description() string {
+	switch p {
+	case RR:
+		return "Round-robin scheduling"
+	case ICOUNT:
+		return "Fewest instructions in decode, rename and the instruction queues"
+	case BRCOUNT:
+		return "Fewest unresolved branches in flight for a thread"
+	case LDCOUNT:
+		return "Fewest loads in flight for a thread"
+	case MEMCOUNT:
+		return "Fewest memory accesses in flight for a thread"
+	case L1MISSCOUNT:
+		return "Fewest outstanding L1 cache misses for a thread"
+	case L1IMISSCOUNT:
+		return "Fewest outstanding L1 ICache misses for a thread"
+	case L1DMISSCOUNT:
+		return "Fewest outstanding L1 DCache misses for a thread"
+	case ACCIPC:
+		return "Highest accumulated IPC for a thread"
+	case STALLCOUNT:
+		return "Fewest stall cycles incurred for a thread"
+	default:
+		return "unknown"
+	}
+}
+
+// Selector computes per-cycle thread priority orders. It owns the
+// round-robin cursor so RR rotates fairly; all other state it reads from
+// the per-thread counters.State views the pipeline maintains.
+type Selector struct {
+	policy   Policy
+	rrCursor int
+	keys     []float64
+	order    []int
+}
+
+// NewSelector returns a selector over n hardware contexts, initially
+// using pol.
+func NewSelector(pol Policy, n int) *Selector {
+	return &Selector{
+		policy: pol,
+		keys:   make([]float64, n),
+		order:  make([]int, n),
+	}
+}
+
+// Policy returns the currently engaged policy.
+func (s *Selector) Policy() Policy { return s.policy }
+
+// SetPolicy switches the engaged policy (the detector thread's
+// Policy_Switch action).
+func (s *Selector) SetPolicy(p Policy) { s.policy = p }
+
+// Clone returns an independent deep copy.
+func (s *Selector) Clone() *Selector {
+	ns := &Selector{
+		policy:   s.policy,
+		rrCursor: s.rrCursor,
+		keys:     make([]float64, len(s.keys)),
+		order:    make([]int, len(s.order)),
+	}
+	copy(ns.keys, s.keys)
+	copy(ns.order, s.order)
+	return ns
+}
+
+// key returns the priority key for thread i; lower is higher priority.
+func (s *Selector) key(p Policy, st *counters.State, i int) float64 {
+	switch p {
+	case RR:
+		n := len(s.keys)
+		return float64((i - s.rrCursor + n) % n)
+	case ICOUNT:
+		return float64(st.Live.PreIssue)
+	case BRCOUNT:
+		return float64(st.Live.Branches)
+	case LDCOUNT:
+		return float64(st.Live.Loads)
+	case MEMCOUNT:
+		return float64(st.Live.Mem)
+	case L1MISSCOUNT:
+		return float64(st.Live.MissOut())
+	case L1IMISSCOUNT:
+		return float64(st.Live.IMissOut)
+	case L1DMISSCOUNT:
+		return float64(st.Live.DMissOut)
+	case ACCIPC:
+		return -st.AccIPC
+	case STALLCOUNT:
+		return float64(st.QuantumStalls)
+	default:
+		panic("policy: unknown policy " + p.String())
+	}
+}
+
+// Order fills dst with the indices of threads (0..len(states)-1) in fetch
+// priority order under the engaged policy, breaking ties by the
+// round-robin cursor so no thread is structurally starved. dst must have
+// len(states) capacity. It returns dst truncated to len(states).
+//
+// The fetch stage calls this once per cycle; after fetching it must call
+// Advance so RR and tie-breaking rotate. The sort is a hand-rolled
+// insertion sort: n is at most the hardware context count and this runs
+// every simulated cycle, so avoiding sort.SliceStable's closure calls
+// matters.
+func (s *Selector) Order(states []*counters.State, dst []int) []int {
+	n := len(states)
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		// Start from cursor rotation so equal keys keep rotating fairly.
+		t := (i + s.rrCursor) % n
+		dst[i] = t
+		s.keys[t] = s.key(s.policy, states[t], t)
+	}
+	for i := 1; i < n; i++ {
+		t := dst[i]
+		k := s.keys[t]
+		j := i - 1
+		for j >= 0 && s.keys[dst[j]] > k {
+			dst[j+1] = dst[j]
+			j--
+		}
+		dst[j+1] = t
+	}
+	return dst
+}
+
+// Advance rotates the round-robin cursor; call once per fetch cycle.
+func (s *Selector) Advance() {
+	if n := len(s.keys); n > 0 {
+		s.rrCursor = (s.rrCursor + 1) % n
+	}
+}

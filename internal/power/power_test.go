@@ -1,0 +1,95 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/counters"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+func TestAnalyzeMachine(t *testing.T) {
+	mix, _ := trace.MixByName("kitchen-sink")
+	progs, _ := mix.Programs(8, 1)
+	m := pipeline.New(pipeline.DefaultConfig(), progs, 1)
+	m.Run(20000)
+	r := DefaultModel().Analyze(m)
+	if r.Total <= 0 || r.EPI <= 0 || r.Power <= 0 || r.EDP <= 0 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	sum := 0.0
+	for _, v := range r.Breakdown {
+		sum += v
+	}
+	if math.Abs(sum-r.Total) > r.Total*1e-9 {
+		t.Fatalf("breakdown sums to %v, total %v", sum, r.Total)
+	}
+	if r.WrongPathFrac <= 0 || r.WrongPathFrac > 0.5 {
+		t.Fatalf("wrong-path energy fraction %.3f implausible", r.WrongPathFrac)
+	}
+	if !strings.Contains(r.String(), "EPI") {
+		t.Fatal("report rendering incomplete")
+	}
+}
+
+func TestMoreWrongPathCostsMoreEnergyPerInst(t *testing.T) {
+	run := func(wrongPath bool) Report {
+		mix, _ := trace.MixByName("int-branchy")
+		progs, _ := mix.Programs(8, 1)
+		cfg := pipeline.DefaultConfig()
+		cfg.WrongPath = wrongPath
+		m := pipeline.New(cfg, progs, 1)
+		m.Run(30000)
+		return DefaultModel().Analyze(m)
+	}
+	with := run(true)
+	without := run(false)
+	if with.WrongPath <= without.WrongPath {
+		t.Fatalf("wrong-path energy %v should exceed ablated %v", with.WrongPath, without.WrongPath)
+	}
+}
+
+func TestAnalyzeDeltaScaling(t *testing.T) {
+	// Doubling every activity doubles total energy (linearity).
+	c := counters.Counters{Fetched: 1000, WrongFetched: 100, Committed: 800, Branches: 100}
+	mo := DefaultModel()
+	a := mo.AnalyzeDelta(1000, c, 400, 50, 5)
+	c2 := c
+	c2.Add(c)
+	b := mo.AnalyzeDelta(2000, c2, 800, 100, 10)
+	if math.Abs(b.Total-2*a.Total) > 1e-9 {
+		t.Fatalf("energy not linear: %v vs 2x%v", b.Total, a.Total)
+	}
+	// EPI is scale-invariant.
+	if math.Abs(a.EPI-b.EPI) > 1e-12 {
+		t.Fatalf("EPI changed under scaling: %v vs %v", a.EPI, b.EPI)
+	}
+}
+
+// TestEnergyNonNegative: any counter values produce non-negative energy.
+func TestEnergyNonNegative(t *testing.T) {
+	mo := DefaultModel()
+	f := func(fetched, wrong, committed, branches uint32, cycles uint16) bool {
+		c := counters.Counters{
+			Fetched:      uint64(fetched),
+			WrongFetched: uint64(wrong),
+			Committed:    uint64(committed),
+			Branches:     uint64(branches),
+		}
+		r := mo.AnalyzeDelta(int64(cycles), c, uint64(fetched)/2, uint64(fetched)/8, uint64(fetched)/64)
+		return r.Total >= 0 && r.WrongPath >= 0 && r.EDP >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWindow(t *testing.T) {
+	r := DefaultModel().AnalyzeDelta(0, counters.Counters{}, 0, 0, 0)
+	if r.EPI != 0 || r.Power != 0 || r.Total != 0 {
+		t.Fatalf("zero window produced %+v", r)
+	}
+}

@@ -1,0 +1,198 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestCopyReplaysFuture(t *testing.T) {
+	a := New(7)
+	for i := 0; i < 10; i++ {
+		a.Uint64()
+	}
+	b := a // value copy
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("copied generator diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(9)
+	a := root.Split()
+	b := root.Split()
+	if a.State() == b.State() {
+		t.Fatal("Split produced identical children")
+	}
+	// Children should not mirror each other.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split children matched %d times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(3)
+	f := func(_ uint8) bool {
+		v := p.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	p := New(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += p.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	p := New(5)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := p.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	p := New(1)
+	p.Intn(0)
+}
+
+func TestUint64nRange(t *testing.T) {
+	p := New(6)
+	f := func(n uint32) bool {
+		bound := uint64(n) + 1
+		return p.Uint64n(bound) < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	p := New(8)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if p.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %.4f", frac)
+	}
+}
+
+func TestGeometricMinimum(t *testing.T) {
+	p := New(10)
+	f := func(m uint8) bool {
+		mean := 1 + float64(m%20)
+		return p.Geometric(mean) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	p := New(11)
+	for _, mean := range []float64{1, 2, 5, 15} {
+		sum := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += p.Geometric(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > mean*0.05+0.02 {
+			t.Fatalf("Geometric(%g) sample mean %.3f", mean, got)
+		}
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	p := New(12)
+	w := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[p.Pick(w)]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pick weight %d frequency %.4f want %.2f", i, got, want)
+		}
+	}
+}
+
+func TestPickDegenerate(t *testing.T) {
+	p := New(13)
+	if got := p.Pick([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero-weight Pick = %d, want 0", got)
+	}
+	if got := p.Pick([]float64{5}); got != 0 {
+		t.Fatalf("single-weight Pick = %d, want 0", got)
+	}
+}
+
+func TestUint32NotConstant(t *testing.T) {
+	p := New(14)
+	a := p.Uint32()
+	for i := 0; i < 10; i++ {
+		if p.Uint32() != a {
+			return
+		}
+	}
+	t.Fatal("Uint32 returned constant values")
+}

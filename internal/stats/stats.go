@@ -1,0 +1,181 @@
+// Package stats provides the run harness and aggregation helpers the
+// experiment drivers share: a parallel simulation runner, summary
+// statistics, and plain-text/markdown table rendering for the paper's
+// figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Job is one simulation to run.
+type Job struct {
+	Name   string
+	Config core.Config
+}
+
+// RunAll executes the jobs on a bounded worker pool and returns results
+// index-aligned with jobs. Each simulation is single-threaded and
+// deterministic; parallelism across jobs is safe because simulators
+// share no mutable state. workers <= 0 selects GOMAXPROCS.
+func RunAll(jobs []Job, workers int) ([]core.Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sim, err := core.NewSimulator(jobs[i].Config)
+				if err != nil {
+					errs[i] = fmt.Errorf("job %q: %w", jobs[i].Name, err)
+					continue
+				}
+				results[i] = sim.Run()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; 0 if any value
+// is non-positive or the slice is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Stddev returns the sample standard deviation; 0 for fewer than two
+// values.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median; 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Table renders rows as a markdown table. Header length fixes the column
+// count; short rows are padded.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as markdown.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	pad := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	b.WriteString("|")
+	for i, h := range t.Header {
+		b.WriteString(" " + pad(h, widths[i]) + " |")
+	}
+	b.WriteString("\n|")
+	for i := range t.Header {
+		b.WriteString(strings.Repeat("-", widths[i]+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Header {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			b.WriteString(" " + pad(c, widths[i]) + " |")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Pct formats a ratio as a signed percentage.
+func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", 100*v) }

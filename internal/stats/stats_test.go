@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("GeoMean with zero should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("Stddev of singleton should be 0")
+	}
+	if got := Stddev([]float64{2, 4}); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Stddev = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even Median = %v", got)
+	}
+	if Median(nil) != 0 {
+		t.Fatal("Median(nil) != 0")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+// TestMeanBounds: the mean lies within [min, max] for any input.
+func TestMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333") // short row: padded
+	out := tb.String()
+	if !strings.Contains(out, "### T") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "| a   | bb |") {
+		t.Fatalf("header misrendered:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, blank, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if Pct(0.256) != "+25.6%" {
+		t.Fatalf("Pct = %q", Pct(0.256))
+	}
+	if Pct(-0.01) != "-1.0%" {
+		t.Fatalf("Pct = %q", Pct(-0.01))
+	}
+}
+
+func TestRunAllAlignmentAndParallel(t *testing.T) {
+	mk := func(mix string, quanta int) core.Config {
+		cfg := core.DefaultConfig(mix)
+		cfg.Quanta = quanta
+		cfg.FastForward = 1024
+		return cfg
+	}
+	jobs := []Job{
+		{Name: "a", Config: mk("int-compute", 2)},
+		{Name: "b", Config: mk("fp-stream", 3)},
+		{Name: "c", Config: mk("int-compute", 2)},
+	}
+	res, err := RunAll(jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if len(res[1].QuantumIPC) != 3 || len(res[0].QuantumIPC) != 2 {
+		t.Fatal("results not aligned with jobs")
+	}
+	// Identical configs must give identical results regardless of
+	// worker scheduling.
+	if res[0].AggregateIPC != res[2].AggregateIPC {
+		t.Fatal("identical jobs produced different results under parallel run")
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	bad := core.DefaultConfig("no-such-mix")
+	_, err := RunAll([]Job{{Name: "bad", Config: bad}}, 1)
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error not propagated with job name: %v", err)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "m",
+		XTicks: []string{"1", "2", "3"},
+		Series: map[string][]float64{
+			"a": {1, 2, 3},
+			"b": {3, 2, 1},
+		},
+		Height: 6,
+	}
+	out := c.String()
+	if !strings.Contains(out, "test chart") || !strings.Contains(out, "legend:") {
+		t.Fatalf("chart missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "o=a") || !strings.Contains(out, "*=b") {
+		t.Fatalf("chart legend wrong:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 9 {
+		t.Fatalf("chart too short:\n%s", out)
+	}
+	empty := (&Chart{}).String()
+	if !strings.Contains(empty, "empty") {
+		t.Fatal("empty chart not handled")
+	}
+}

@@ -1,0 +1,386 @@
+package trace
+
+import "sort"
+
+// The profile catalogue models sixteen SPEC CPU2000 applications by their
+// published behavioural classes: instruction mix, branch predictability,
+// memory footprint and reference pattern, code footprint, and ILP. The
+// numbers are not calibrated against any proprietary trace; they are
+// chosen so each profile lands in the same qualitative regime (miss
+// rates, branch rates, single-thread IPC class) that the paper's mix
+// methodology sorts on. See DESIGN.md §2.
+//
+// Footprints are word-of-caution small relative to the real applications
+// (e.g. mcf's 100+ MB becomes 3 MB): what matters to the fetch policies
+// is where the working set falls relative to the 32 KB L1 and 1 MB L2,
+// not its absolute size.
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+var catalog = []*Profile{
+	{
+		Name: "gzip", Class: "int",
+		Description: "compression: alternating compress (sequential memory) and tree-update (branchy) phases",
+		Phases: []Phase{
+			{
+				Name: "compress", MeanLen: 40000,
+				BranchFrac: 0.09, JumpFrac: 0.01, LoadFrac: 0.22, StoreFrac: 0.12, SyscallRate: 1e-5,
+				DataFootprint: 192 * kb, SeqFrac: 0.75, StackFrac: 0.10, CodeWords: 3000,
+				BiasedW: 0.7, LoopW: 0.25, RandomW: 0.05,
+				MeanDepDist: 5, DepProb: 0.75,
+			},
+			{
+				Name: "trees", MeanLen: 25000,
+				BranchFrac: 0.15, JumpFrac: 0.02, LoadFrac: 0.24, StoreFrac: 0.08, SyscallRate: 1e-5,
+				DataFootprint: 64 * kb, SeqFrac: 0.2, StackFrac: 0.25, CodeWords: 2500,
+				BiasedW: 0.5, LoopW: 0.3, RandomW: 0.2,
+				MeanDepDist: 4, DepProb: 0.8,
+			},
+		},
+	},
+	{
+		Name: "gcc", Class: "int",
+		Description: "compiler: very branchy parse phase, memory-heavy allocation phase, large code footprint",
+		Phases: []Phase{
+			{
+				Name: "parse", MeanLen: 35000,
+				BranchFrac: 0.18, JumpFrac: 0.03, LoadFrac: 0.24, StoreFrac: 0.10, SyscallRate: 2e-5,
+				DataFootprint: 256 * kb, SeqFrac: 0.15, StackFrac: 0.30, CodeWords: 24000,
+				BiasedW: 0.40, LoopW: 0.20, RandomW: 0.40,
+				MeanDepDist: 4, DepProb: 0.8,
+			},
+			{
+				Name: "regalloc", MeanLen: 30000,
+				BranchFrac: 0.12, JumpFrac: 0.02, LoadFrac: 0.30, StoreFrac: 0.12, SyscallRate: 2e-5,
+				DataFootprint: 768 * kb, SeqFrac: 0.10, StackFrac: 0.15, CodeWords: 20000,
+				BiasedW: 0.5, LoopW: 0.3, RandomW: 0.2,
+				MeanDepDist: 5, DepProb: 0.75,
+			},
+		},
+	},
+	{
+		Name: "mcf", Class: "int",
+		Description: "network simplex: pointer chasing over a huge working set; memory bound, low IPC",
+		Phases: []Phase{
+			{
+				Name: "chase", MeanLen: 50000,
+				BranchFrac: 0.10, JumpFrac: 0.01, LoadFrac: 0.34, StoreFrac: 0.08, SyscallRate: 1e-5,
+				DataFootprint: 3 * mb, SeqFrac: 0.05, StackFrac: 0.05, CodeWords: 1500,
+				BiasedW: 0.55, LoopW: 0.25, RandomW: 0.20,
+				MeanDepDist: 2, DepProb: 0.9,
+			},
+			{
+				Name: "price", MeanLen: 20000,
+				BranchFrac: 0.12, JumpFrac: 0.01, LoadFrac: 0.26, StoreFrac: 0.10, SyscallRate: 1e-5,
+				DataFootprint: 1 * mb, SeqFrac: 0.35, StackFrac: 0.10, CodeWords: 1500,
+				BiasedW: 0.6, LoopW: 0.25, RandomW: 0.15,
+				MeanDepDist: 4, DepProb: 0.8,
+			},
+		},
+	},
+	{
+		Name: "crafty", Class: "int",
+		Description: "chess: high ILP, small cache-resident working set, data-dependent (random) branches",
+		Phases: []Phase{
+			{
+				Name: "search", MeanLen: 45000,
+				BranchFrac: 0.14, JumpFrac: 0.02, LoadFrac: 0.22, StoreFrac: 0.07, SyscallRate: 1e-5,
+				DataFootprint: 24 * kb, SeqFrac: 0.10, StackFrac: 0.45, CodeWords: 6000,
+				BiasedW: 0.40, LoopW: 0.15, RandomW: 0.45,
+				MeanDepDist: 9, DepProb: 0.65,
+			},
+			{
+				Name: "evaluate", MeanLen: 20000,
+				BranchFrac: 0.10, JumpFrac: 0.01, LoadFrac: 0.20, StoreFrac: 0.05, SyscallRate: 1e-5,
+				DataFootprint: 24 * kb, SeqFrac: 0.15, StackFrac: 0.50, CodeWords: 5000,
+				IntMulFrac: 0.05,
+				BiasedW:    0.6, LoopW: 0.25, RandomW: 0.15,
+				MeanDepDist: 10, DepProb: 0.6,
+			},
+		},
+	},
+	{
+		Name: "parser", Class: "int",
+		Description: "NLP parser: branchy with moderate memory pressure and dictionary lookups",
+		Phases: []Phase{
+			{
+				Name: "tokenize", MeanLen: 25000,
+				BranchFrac: 0.16, JumpFrac: 0.02, LoadFrac: 0.23, StoreFrac: 0.09, SyscallRate: 1e-5,
+				DataFootprint: 128 * kb, SeqFrac: 0.25, StackFrac: 0.25, CodeWords: 5000,
+				BiasedW: 0.45, LoopW: 0.25, RandomW: 0.30,
+				MeanDepDist: 4, DepProb: 0.8,
+			},
+			{
+				Name: "link", MeanLen: 35000,
+				BranchFrac: 0.13, JumpFrac: 0.02, LoadFrac: 0.28, StoreFrac: 0.10, SyscallRate: 1e-5,
+				DataFootprint: 512 * kb, SeqFrac: 0.10, StackFrac: 0.15, CodeWords: 5000,
+				BiasedW: 0.5, LoopW: 0.25, RandomW: 0.25,
+				MeanDepDist: 3, DepProb: 0.85,
+			},
+		},
+	},
+	{
+		Name: "vortex", Class: "int",
+		Description: "object database: large code footprint, well-predicted branches, medium data set",
+		Phases: []Phase{
+			{
+				Name: "lookup", MeanLen: 40000,
+				BranchFrac: 0.14, JumpFrac: 0.04, LoadFrac: 0.26, StoreFrac: 0.12, SyscallRate: 2e-5,
+				DataFootprint: 384 * kb, SeqFrac: 0.20, StackFrac: 0.25, CodeWords: 28000,
+				BiasedW: 0.75, LoopW: 0.15, RandomW: 0.10,
+				MeanDepDist: 5, DepProb: 0.75,
+			},
+			{
+				Name: "insert", MeanLen: 20000,
+				BranchFrac: 0.12, JumpFrac: 0.03, LoadFrac: 0.24, StoreFrac: 0.16, SyscallRate: 2e-5,
+				DataFootprint: 512 * kb, SeqFrac: 0.15, StackFrac: 0.20, CodeWords: 26000,
+				BiasedW: 0.7, LoopW: 0.2, RandomW: 0.1,
+				MeanDepDist: 5, DepProb: 0.75,
+			},
+		},
+	},
+	{
+		Name: "bzip2", Class: "int",
+		Description: "block-sorting compression: long sequential scans with a sort phase",
+		Phases: []Phase{
+			{
+				Name: "sort", MeanLen: 45000,
+				BranchFrac: 0.12, JumpFrac: 0.01, LoadFrac: 0.26, StoreFrac: 0.11, SyscallRate: 1e-5,
+				DataFootprint: 640 * kb, SeqFrac: 0.45, StackFrac: 0.10, CodeWords: 2500,
+				BiasedW: 0.5, LoopW: 0.3, RandomW: 0.2,
+				MeanDepDist: 5, DepProb: 0.75,
+			},
+			{
+				Name: "huffman", MeanLen: 25000,
+				BranchFrac: 0.11, JumpFrac: 0.01, LoadFrac: 0.20, StoreFrac: 0.08, SyscallRate: 1e-5,
+				DataFootprint: 48 * kb, SeqFrac: 0.30, StackFrac: 0.30, CodeWords: 2000,
+				BiasedW: 0.6, LoopW: 0.3, RandomW: 0.1,
+				MeanDepDist: 6, DepProb: 0.7,
+			},
+		},
+	},
+	{
+		Name: "twolf", Class: "int",
+		Description: "place and route: random walks over a megabyte-scale data set plus data-dependent branches",
+		Phases: []Phase{
+			{
+				Name: "place", MeanLen: 40000,
+				BranchFrac: 0.14, JumpFrac: 0.01, LoadFrac: 0.27, StoreFrac: 0.08, SyscallRate: 1e-5,
+				DataFootprint: 1 * mb, SeqFrac: 0.05, StackFrac: 0.15, CodeWords: 7000,
+				BiasedW: 0.40, LoopW: 0.25, RandomW: 0.35,
+				MeanDepDist: 3, DepProb: 0.85,
+			},
+			{
+				Name: "anneal", MeanLen: 20000,
+				BranchFrac: 0.12, JumpFrac: 0.01, LoadFrac: 0.22, StoreFrac: 0.07, SyscallRate: 1e-5,
+				DataFootprint: 256 * kb, SeqFrac: 0.15, StackFrac: 0.25, CodeWords: 6000,
+				IntMulFrac: 0.08,
+				BiasedW:    0.5, LoopW: 0.2, RandomW: 0.3,
+				MeanDepDist: 6, DepProb: 0.7,
+			},
+		},
+	},
+	{
+		Name: "gap", Class: "int",
+		Description: "group theory: integer-multiply heavy compute with modest memory traffic",
+		Phases: []Phase{
+			{
+				Name: "arith", MeanLen: 50000,
+				BranchFrac: 0.10, JumpFrac: 0.02, LoadFrac: 0.20, StoreFrac: 0.08, SyscallRate: 1e-5,
+				DataFootprint: 192 * kb, SeqFrac: 0.35, StackFrac: 0.25, CodeWords: 9000,
+				IntMulFrac: 0.18, IntDivFrac: 0.01,
+				BiasedW: 0.65, LoopW: 0.25, RandomW: 0.10,
+				MeanDepDist: 6, DepProb: 0.7,
+			},
+			{
+				Name: "collect", MeanLen: 15000,
+				BranchFrac: 0.13, JumpFrac: 0.02, LoadFrac: 0.28, StoreFrac: 0.12, SyscallRate: 1e-5,
+				DataFootprint: 768 * kb, SeqFrac: 0.25, StackFrac: 0.10, CodeWords: 8000,
+				BiasedW: 0.6, LoopW: 0.25, RandomW: 0.15,
+				MeanDepDist: 4, DepProb: 0.8,
+			},
+		},
+	},
+	{
+		Name: "swim", Class: "fp",
+		Description: "shallow-water model: pure streaming FP over multi-megabyte arrays, few branches",
+		Phases: []Phase{
+			{
+				Name: "stencil", MeanLen: 60000,
+				BranchFrac: 0.03, JumpFrac: 0.005, LoadFrac: 0.31, StoreFrac: 0.14, SyscallRate: 5e-6,
+				DataFootprint: 3 * mb, SeqFrac: 0.85, StackFrac: 0.02, CodeWords: 1200,
+				FPFrac: 0.9, FPMulFrac: 0.4,
+				BiasedW: 0.3, LoopW: 0.68, RandomW: 0.02,
+				MeanDepDist: 12, DepProb: 0.6,
+			},
+			{
+				Name: "update", MeanLen: 30000,
+				BranchFrac: 0.04, JumpFrac: 0.005, LoadFrac: 0.26, StoreFrac: 0.18, SyscallRate: 5e-6,
+				DataFootprint: 3 * mb, SeqFrac: 0.90, StackFrac: 0.02, CodeWords: 1000,
+				FPFrac: 0.85, FPMulFrac: 0.35,
+				BiasedW: 0.3, LoopW: 0.68, RandomW: 0.02,
+				MeanDepDist: 14, DepProb: 0.55,
+			},
+		},
+	},
+	{
+		Name: "mgrid", Class: "fp",
+		Description: "multigrid solver: streaming FP with high ILP, tiny code",
+		Phases: []Phase{
+			{
+				Name: "relax", MeanLen: 55000,
+				BranchFrac: 0.02, JumpFrac: 0.004, LoadFrac: 0.33, StoreFrac: 0.10, SyscallRate: 5e-6,
+				DataFootprint: 2 * mb, SeqFrac: 0.80, StackFrac: 0.03, CodeWords: 900,
+				FPFrac: 0.92, FPMulFrac: 0.45,
+				BiasedW: 0.25, LoopW: 0.73, RandomW: 0.02,
+				MeanDepDist: 15, DepProb: 0.55,
+			},
+			{
+				Name: "restrict", MeanLen: 20000,
+				BranchFrac: 0.03, JumpFrac: 0.004, LoadFrac: 0.28, StoreFrac: 0.14, SyscallRate: 5e-6,
+				DataFootprint: 512 * kb, SeqFrac: 0.75, StackFrac: 0.05, CodeWords: 900,
+				FPFrac: 0.9, FPMulFrac: 0.4,
+				BiasedW: 0.3, LoopW: 0.68, RandomW: 0.02,
+				MeanDepDist: 13, DepProb: 0.55,
+			},
+		},
+	},
+	{
+		Name: "applu", Class: "fp",
+		Description: "LU solver: blocked FP with divides and moderate memory pressure",
+		Phases: []Phase{
+			{
+				Name: "jacobi", MeanLen: 45000,
+				BranchFrac: 0.04, JumpFrac: 0.005, LoadFrac: 0.30, StoreFrac: 0.12, SyscallRate: 5e-6,
+				DataFootprint: 2 * mb, SeqFrac: 0.65, StackFrac: 0.05, CodeWords: 2000,
+				FPFrac: 0.9, FPMulFrac: 0.4, FPDivFrac: 0.04,
+				BiasedW: 0.3, LoopW: 0.65, RandomW: 0.05,
+				MeanDepDist: 8, DepProb: 0.65,
+			},
+			{
+				Name: "rhs", MeanLen: 25000,
+				BranchFrac: 0.05, JumpFrac: 0.005, LoadFrac: 0.27, StoreFrac: 0.13, SyscallRate: 5e-6,
+				DataFootprint: 1 * mb, SeqFrac: 0.70, StackFrac: 0.05, CodeWords: 1800,
+				FPFrac: 0.88, FPMulFrac: 0.38, FPDivFrac: 0.02,
+				BiasedW: 0.3, LoopW: 0.65, RandomW: 0.05,
+				MeanDepDist: 9, DepProb: 0.62,
+			},
+		},
+	},
+	{
+		Name: "art", Class: "fp",
+		Description: "neural-network image recognition: memory bound with scattered references and poor cache behaviour",
+		Phases: []Phase{
+			{
+				Name: "scan", MeanLen: 40000,
+				BranchFrac: 0.06, JumpFrac: 0.01, LoadFrac: 0.35, StoreFrac: 0.08, SyscallRate: 5e-6,
+				DataFootprint: 3 * mb, SeqFrac: 0.25, StackFrac: 0.03, CodeWords: 1200,
+				FPFrac: 0.75, FPMulFrac: 0.5,
+				BiasedW: 0.4, LoopW: 0.45, RandomW: 0.15,
+				MeanDepDist: 4, DepProb: 0.8,
+			},
+			{
+				Name: "match", MeanLen: 20000,
+				BranchFrac: 0.08, JumpFrac: 0.01, LoadFrac: 0.30, StoreFrac: 0.06, SyscallRate: 5e-6,
+				DataFootprint: 3 * mb, SeqFrac: 0.15, StackFrac: 0.05, CodeWords: 1200,
+				FPFrac: 0.7, FPMulFrac: 0.45,
+				BiasedW: 0.4, LoopW: 0.4, RandomW: 0.2,
+				MeanDepDist: 3, DepProb: 0.85,
+			},
+		},
+	},
+	{
+		Name: "equake", Class: "fp",
+		Description: "earthquake simulation: sparse matrix-vector phases alternating with time integration",
+		Phases: []Phase{
+			{
+				Name: "smvp", MeanLen: 35000,
+				BranchFrac: 0.07, JumpFrac: 0.01, LoadFrac: 0.33, StoreFrac: 0.07, SyscallRate: 5e-6,
+				DataFootprint: 2 * mb, SeqFrac: 0.35, StackFrac: 0.05, CodeWords: 1500,
+				FPFrac: 0.8, FPMulFrac: 0.45,
+				BiasedW: 0.45, LoopW: 0.45, RandomW: 0.10,
+				MeanDepDist: 4, DepProb: 0.8,
+			},
+			{
+				Name: "integrate", MeanLen: 20000,
+				BranchFrac: 0.04, JumpFrac: 0.005, LoadFrac: 0.26, StoreFrac: 0.14, SyscallRate: 5e-6,
+				DataFootprint: 1 * mb, SeqFrac: 0.80, StackFrac: 0.03, CodeWords: 1200,
+				FPFrac: 0.85, FPMulFrac: 0.4, FPDivFrac: 0.02,
+				BiasedW: 0.35, LoopW: 0.6, RandomW: 0.05,
+				MeanDepDist: 10, DepProb: 0.6,
+			},
+		},
+	},
+	{
+		Name: "lucas", Class: "fp",
+		Description: "primality testing: FFT-style FP-multiply-dominated compute, cache friendly",
+		Phases: []Phase{
+			{
+				Name: "fft", MeanLen: 50000,
+				BranchFrac: 0.02, JumpFrac: 0.004, LoadFrac: 0.26, StoreFrac: 0.12, SyscallRate: 5e-6,
+				DataFootprint: 768 * kb, SeqFrac: 0.55, StackFrac: 0.10, CodeWords: 1100,
+				FPFrac: 0.95, FPMulFrac: 0.55,
+				BiasedW: 0.3, LoopW: 0.68, RandomW: 0.02,
+				MeanDepDist: 11, DepProb: 0.6,
+			},
+			{
+				Name: "carry", MeanLen: 15000,
+				BranchFrac: 0.06, JumpFrac: 0.005, LoadFrac: 0.24, StoreFrac: 0.14, SyscallRate: 5e-6,
+				DataFootprint: 512 * kb, SeqFrac: 0.75, StackFrac: 0.08, CodeWords: 1000,
+				FPFrac: 0.6, FPMulFrac: 0.3,
+				BiasedW: 0.4, LoopW: 0.55, RandomW: 0.05,
+				MeanDepDist: 7, DepProb: 0.7,
+			},
+		},
+	},
+	{
+		Name: "ammp", Class: "fp",
+		Description: "molecular dynamics: neighbour-list walks over a large footprint with FP divides",
+		Phases: []Phase{
+			{
+				Name: "nonbond", MeanLen: 45000,
+				BranchFrac: 0.05, JumpFrac: 0.01, LoadFrac: 0.32, StoreFrac: 0.09, SyscallRate: 5e-6,
+				DataFootprint: 2 * mb, SeqFrac: 0.20, StackFrac: 0.05, CodeWords: 1800,
+				FPFrac: 0.85, FPMulFrac: 0.4, FPDivFrac: 0.05,
+				BiasedW: 0.45, LoopW: 0.45, RandomW: 0.10,
+				MeanDepDist: 5, DepProb: 0.75,
+			},
+			{
+				Name: "bonded", MeanLen: 15000,
+				BranchFrac: 0.06, JumpFrac: 0.01, LoadFrac: 0.26, StoreFrac: 0.11, SyscallRate: 5e-6,
+				DataFootprint: 512 * kb, SeqFrac: 0.45, StackFrac: 0.10, CodeWords: 1500,
+				FPFrac: 0.8, FPMulFrac: 0.35, FPDivFrac: 0.02,
+				BiasedW: 0.4, LoopW: 0.5, RandomW: 0.10,
+				MeanDepDist: 8, DepProb: 0.65,
+			},
+		},
+	},
+}
+
+var catalogByName = func() map[string]*Profile {
+	m := make(map[string]*Profile, len(catalog))
+	for _, p := range catalog {
+		if err := p.Validate(); err != nil {
+			panic("trace: invalid catalogue profile: " + err.Error())
+		}
+		m[p.Name] = p
+	}
+	return m
+}()
+
+// Profiles returns the full application catalogue, sorted by name.
+func Profiles() []*Profile {
+	out := make([]*Profile, len(catalog))
+	copy(out, catalog)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ProfileByName looks up a catalogue profile; ok is false if absent.
+func ProfileByName(name string) (p *Profile, ok bool) {
+	p, ok = catalogByName[name]
+	return
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Mix is one multiprogrammed workload: eight applications co-scheduled on
+// the SMT processor. The thirteen mixes follow the paper's methodology
+// (§5): applications are grouped by single-thread IPC class, memory
+// footprint, and int/FP type; int/FP combinations are kept as even as
+// possible; homogeneous mixes (similar applications, where the paper
+// reports the largest adaptive gains) repeat applications of one class.
+type Mix struct {
+	Name        string
+	Description string
+	Apps        []string // profile names; len == 8
+	Homogeneous bool     // mix of behaviourally similar applications
+}
+
+var mixes = []Mix{
+	{
+		Name:        "int-compute",
+		Description: "homogeneous: cache-resident integer compute",
+		Apps:        []string{"gzip", "crafty", "gap", "vortex", "bzip2", "parser", "crafty", "gzip"},
+		Homogeneous: true,
+	},
+	{
+		Name:        "int-memory",
+		Description: "memory-leaning integer: pointer chasers with cache-resident consumers",
+		Apps:        []string{"mcf", "twolf", "mcf", "gzip", "twolf", "parser", "bzip2", "vortex"},
+		Homogeneous: true,
+	},
+	{
+		Name:        "int-branchy",
+		Description: "homogeneous: control-intensive integer codes with poor predictability",
+		Apps:        []string{"gcc", "crafty", "parser", "twolf", "gcc", "crafty", "parser", "gcc"},
+		Homogeneous: true,
+	},
+	{
+		Name:        "fp-stream",
+		Description: "homogeneous: streaming floating-point stencils",
+		Apps:        []string{"swim", "mgrid", "applu", "swim", "mgrid", "applu", "swim", "mgrid"},
+		Homogeneous: true,
+	},
+	{
+		Name:        "fp-memory",
+		Description: "memory-leaning floating point: scattered-reference codes with streaming consumers",
+		Apps:        []string{"art", "ammp", "art", "equake", "lucas", "mgrid", "ammp", "swim"},
+		Homogeneous: true,
+	},
+	{
+		Name:        "fp-compute",
+		Description: "homogeneous: FP-multiply-dominated compute",
+		Apps:        []string{"lucas", "mgrid", "lucas", "applu", "lucas", "mgrid", "applu", "lucas"},
+		Homogeneous: true,
+	},
+	{
+		Name:        "mixed-even-1",
+		Description: "diverse: four integer and four FP applications, spread across IPC classes",
+		Apps:        []string{"gzip", "swim", "gcc", "mgrid", "mcf", "art", "crafty", "applu"},
+	},
+	{
+		Name:        "mixed-even-2",
+		Description: "diverse: four integer and four FP applications, second draw",
+		Apps:        []string{"bzip2", "equake", "vortex", "lucas", "parser", "ammp", "gap", "swim"},
+	},
+	{
+		Name:        "mixed-ilp",
+		Description: "diverse: high-ILP applications of both types",
+		Apps:        []string{"crafty", "gap", "lucas", "mgrid", "gzip", "vortex", "applu", "bzip2"},
+	},
+	{
+		Name:        "mixed-lowipc",
+		Description: "homogeneous-by-IPC: low-IPC memory-bound applications of both types",
+		Apps:        []string{"mcf", "art", "twolf", "ammp", "equake", "mcf", "art", "twolf"},
+		Homogeneous: true,
+	},
+	{
+		Name:        "branchy-mixed",
+		Description: "diverse with a control-intensive core",
+		Apps:        []string{"gcc", "crafty", "parser", "twolf", "equake", "art", "gzip", "vortex"},
+	},
+	{
+		Name:        "memory-mixed",
+		Description: "diverse with a memory-bound core and compute beneficiaries",
+		Apps:        []string{"mcf", "art", "mcf", "art", "gzip", "lucas", "crafty", "mgrid"},
+	},
+	{
+		Name:        "kitchen-sink",
+		Description: "diverse: one application from every behavioural corner",
+		Apps:        []string{"gzip", "gcc", "mcf", "crafty", "swim", "art", "lucas", "equake"},
+	},
+}
+
+// Mixes returns the thirteen-workload catalogue in its canonical order.
+func Mixes() []Mix {
+	out := make([]Mix, len(mixes))
+	copy(out, mixes)
+	return out
+}
+
+// MixByName looks up a mix; ok is false if absent.
+func MixByName(name string) (m Mix, ok bool) {
+	for _, mx := range mixes {
+		if mx.Name == name {
+			return mx, true
+		}
+	}
+	return Mix{}, false
+}
+
+// Programs instantiates the mix for n hardware contexts (1 <= n <= 8)
+// with the given seed. For n < 8, applications are excluded by seeded
+// random choice, mirroring the paper's derivation of the 4- and 6-thread
+// workloads from the 8-thread mixes.
+func (m Mix) Programs(n int, seed uint64) ([]*Program, error) {
+	if n < 1 || n > len(m.Apps) {
+		return nil, fmt.Errorf("trace: mix %q supports 1..%d threads, got %d", m.Name, len(m.Apps), n)
+	}
+	// Seeded Fisher-Yates selection of n of the 8 slots.
+	idx := make([]int, len(m.Apps))
+	for i := range idx {
+		idx[i] = i
+	}
+	r := rng.New(seed ^ 0xa5a5a5a5a5a5a5a5)
+	for i := len(idx) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	progs := make([]*Program, n)
+	for t := 0; t < n; t++ {
+		name := m.Apps[idx[t]]
+		prof, ok := ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("trace: mix %q references unknown profile %q", m.Name, name)
+		}
+		progs[t] = NewProgram(prof, t, seed)
+	}
+	return progs, nil
+}
+
+// Validate checks that every referenced profile exists and the mix has
+// exactly eight slots.
+func (m Mix) Validate() error {
+	if len(m.Apps) != 8 {
+		return fmt.Errorf("trace: mix %q must list 8 applications, has %d", m.Name, len(m.Apps))
+	}
+	for _, name := range m.Apps {
+		if _, ok := ProfileByName(name); !ok {
+			return fmt.Errorf("trace: mix %q references unknown profile %q", m.Name, name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package trace is the workload substrate of the simulator: a
+// deterministic synthetic program generator that stands in for the SPEC
+// CPU2000 binaries the paper runs on SimpleSMT (see DESIGN.md §2 for the
+// substitution argument).
+//
+// A Profile describes one application as a cycle of Phases; each Phase
+// fixes an instruction-class mix, a memory-reference pattern, a static
+// branch-behaviour mixture, and a dependency-distance (ILP) model. A
+// Program instantiates a Profile for one hardware context and produces an
+// infinite, deterministic stream of isa.Inst records.
+package trace
+
+import "fmt"
+
+// Phase describes one behavioural phase of an application. Phases are the
+// source of the time-varying behaviour that adaptive scheduling exploits:
+// a thread in its memory phase clogs the load/store queue, a thread in its
+// branchy phase wastes fetch slots on wrong paths.
+type Phase struct {
+	Name string
+
+	// MeanLen is the mean number of dynamic instructions per occurrence
+	// of this phase (phase lengths are geometrically distributed).
+	MeanLen int
+
+	// Instruction-class mix. Fractions of the dynamic stream; the
+	// remainder after branches, jumps, loads, stores and syscalls is
+	// compute, split between integer and floating point by FPFrac.
+	BranchFrac  float64 // conditional branches
+	JumpFrac    float64 // unconditional jumps
+	LoadFrac    float64
+	StoreFrac   float64
+	SyscallRate float64 // per-instruction syscall probability (tiny)
+	FPFrac      float64 // fraction of compute that is floating point
+	IntMulFrac  float64 // fraction of integer compute that is multiply
+	IntDivFrac  float64 // fraction of integer compute that is divide
+	FPMulFrac   float64 // fraction of FP compute that is multiply
+	FPDivFrac   float64 // fraction of FP compute that is divide
+
+	// Memory-reference pattern. A data reference is sequential
+	// (streaming) with probability SeqFrac, stack-local with probability
+	// StackFrac, and otherwise uniform over DataFootprint bytes.
+	DataFootprint uint64
+	SeqFrac       float64
+	StackFrac     float64
+
+	// CodeWords is the static code-region size in instruction words;
+	// regions larger than the L1 I-cache (8K words) miss in it.
+	CodeWords uint64
+
+	// Static branch-behaviour mixture (weights, normalised internally).
+	// Biased branches follow one direction ~95% of the time, loop
+	// branches follow a strict k-iteration pattern, random branches are
+	// 50/50 coin flips (the source of mispredictions).
+	BiasedW, LoopW, RandomW float64
+
+	// Dependency model: each operand depends on the instruction
+	// Geometric(MeanDepDist) positions earlier with probability DepProb.
+	// Short distances serialise execution (low ILP).
+	MeanDepDist float64
+	DepProb     float64
+}
+
+// computeFrac returns the fraction of the stream that is compute.
+func (p *Phase) computeFrac() float64 {
+	return 1 - p.BranchFrac - p.JumpFrac - p.LoadFrac - p.StoreFrac - p.SyscallRate
+}
+
+// Validate checks that the phase's fractions form a distribution.
+func (p *Phase) Validate() error {
+	if p.MeanLen <= 0 {
+		return fmt.Errorf("phase %q: MeanLen must be positive", p.Name)
+	}
+	if p.computeFrac() < 0 {
+		return fmt.Errorf("phase %q: class fractions exceed 1", p.Name)
+	}
+	for _, f := range []float64{
+		p.BranchFrac, p.JumpFrac, p.LoadFrac, p.StoreFrac, p.SyscallRate,
+		p.FPFrac, p.IntMulFrac, p.IntDivFrac, p.FPMulFrac, p.FPDivFrac,
+		p.SeqFrac, p.StackFrac, p.DepProb,
+	} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("phase %q: fraction %v out of [0,1]", p.Name, f)
+		}
+	}
+	if p.SeqFrac+p.StackFrac > 1 {
+		return fmt.Errorf("phase %q: SeqFrac+StackFrac exceed 1", p.Name)
+	}
+	if p.DataFootprint == 0 {
+		return fmt.Errorf("phase %q: DataFootprint must be positive", p.Name)
+	}
+	if p.CodeWords == 0 {
+		return fmt.Errorf("phase %q: CodeWords must be positive", p.Name)
+	}
+	if p.BiasedW+p.LoopW+p.RandomW <= 0 {
+		return fmt.Errorf("phase %q: branch behaviour weights must be positive", p.Name)
+	}
+	if p.MeanDepDist < 1 {
+		return fmt.Errorf("phase %q: MeanDepDist must be >= 1", p.Name)
+	}
+	return nil
+}
+
+// Profile describes one synthetic application.
+type Profile struct {
+	Name        string
+	Class       string // "int" or "fp", mirroring the SPEC CPU2000 split
+	Description string
+	Phases      []Phase
+}
+
+// Validate checks the profile and all its phases.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("profile: empty name")
+	}
+	if p.Class != "int" && p.Class != "fp" {
+		return fmt.Errorf("profile %q: class must be \"int\" or \"fp\"", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("profile %q: needs at least one phase", p.Name)
+	}
+	for i := range p.Phases {
+		if err := p.Phases[i].Validate(); err != nil {
+			return fmt.Errorf("profile %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package trace
+
+import "repro/internal/isa"
+
+// StreamStats summarises the measured dynamic characteristics of a
+// program stream, for validating profiles against their SPEC CPU2000
+// behavioural targets (cmd/mixgen -sample) and for tests.
+type StreamStats struct {
+	Instructions int
+	ClassCounts  [isa.NumClasses]int
+	Branches     int
+	Taken        int
+	// BlocksTouched counts distinct 64-byte data blocks referenced — a
+	// working-set proxy.
+	BlocksTouched int
+	// StaticPCs counts distinct instruction addresses seen.
+	StaticPCs int
+	// PhaseChanges counts phase transitions during the sample.
+	PhaseChanges int
+}
+
+// ClassFrac returns the dynamic fraction of class c.
+func (s StreamStats) ClassFrac(c isa.Class) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.ClassCounts[c]) / float64(s.Instructions)
+}
+
+// MemFrac returns the dynamic load+store fraction.
+func (s StreamStats) MemFrac() float64 {
+	return s.ClassFrac(isa.Load) + s.ClassFrac(isa.Store)
+}
+
+// TakenFrac returns the taken fraction of conditional branches.
+func (s StreamStats) TakenFrac() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Branches)
+}
+
+// WorkingSetBytes estimates the touched data working set.
+func (s StreamStats) WorkingSetBytes() int { return s.BlocksTouched * 64 }
+
+// Sample generates n instructions of prof and measures the stream.
+func Sample(prof *Profile, n int, seed uint64) StreamStats {
+	p := NewProgram(prof, 0, seed)
+	var st StreamStats
+	st.Instructions = n
+	blocks := make(map[uint64]struct{})
+	pcs := make(map[uint64]struct{})
+	phase := p.PhaseName()
+	for i := 0; i < n; i++ {
+		in := p.Next()
+		st.ClassCounts[in.Class]++
+		pcs[in.PC] = struct{}{}
+		if in.Class.IsMem() {
+			blocks[in.Addr>>6] = struct{}{}
+		}
+		if in.Class == isa.Branch {
+			st.Branches++
+			if in.Taken {
+				st.Taken++
+			}
+		}
+		if p.PhaseName() != phase {
+			st.PhaseChanges++
+			phase = p.PhaseName()
+		}
+	}
+	st.BlocksTouched = len(blocks)
+	st.StaticPCs = len(pcs)
+	return st
+}

@@ -1,0 +1,457 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+func testProfile() *Profile {
+	p, ok := ProfileByName("gzip")
+	if !ok {
+		panic("gzip profile missing")
+	}
+	return p
+}
+
+func TestCatalogueValid(t *testing.T) {
+	profs := Profiles()
+	if len(profs) != 16 {
+		t.Fatalf("catalogue has %d profiles, want 16", len(profs))
+	}
+	ints, fps := 0, 0
+	for _, p := range profs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s: %v", p.Name, err)
+		}
+		switch p.Class {
+		case "int":
+			ints++
+		case "fp":
+			fps++
+		}
+		if len(p.Phases) < 2 {
+			t.Errorf("profile %s has %d phases; phase behaviour needs >= 2", p.Name, len(p.Phases))
+		}
+	}
+	if ints == 0 || fps == 0 {
+		t.Fatalf("catalogue must span both classes: %d int, %d fp", ints, fps)
+	}
+}
+
+func TestMixesValid(t *testing.T) {
+	mixes := Mixes()
+	if len(mixes) != 13 {
+		t.Fatalf("catalogue has %d mixes, want the paper's 13", len(mixes))
+	}
+	homo := 0
+	for _, m := range mixes {
+		if err := m.Validate(); err != nil {
+			t.Errorf("mix %s: %v", m.Name, err)
+		}
+		if m.Homogeneous {
+			homo++
+		}
+	}
+	if homo == 0 || homo == len(mixes) {
+		t.Fatalf("similarity experiment needs both kinds; %d/%d homogeneous", homo, len(mixes))
+	}
+	if _, ok := MixByName("kitchen-sink"); !ok {
+		t.Fatal("MixByName failed for a known mix")
+	}
+	if _, ok := MixByName("nope"); ok {
+		t.Fatal("MixByName found a nonexistent mix")
+	}
+}
+
+func TestProgramDeterminism(t *testing.T) {
+	a := NewProgram(testProfile(), 0, 42)
+	b := NewProgram(testProfile(), 0, 42)
+	for i := 0; i < 20000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at instruction %d", i)
+		}
+	}
+}
+
+func TestProgramSeedsDiffer(t *testing.T) {
+	a := NewProgram(testProfile(), 0, 1)
+	b := NewProgram(testProfile(), 0, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestCloneReplaysFuture(t *testing.T) {
+	p := NewProgram(testProfile(), 0, 7)
+	for i := 0; i < 5000; i++ {
+		p.Next()
+	}
+	c := p.Clone()
+	for i := 0; i < 20000; i++ {
+		if p.Next() != c.Next() {
+			t.Fatalf("clone diverged at instruction %d", i)
+		}
+	}
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	p := NewProgram(testProfile(), 0, 1)
+	var last uint64
+	for i := 0; i < 10000; i++ {
+		in := p.Next()
+		if in.Seq != last+1 {
+			t.Fatalf("seq jumped from %d to %d", last, in.Seq)
+		}
+		last = in.Seq
+	}
+}
+
+func TestDepDistancesBounded(t *testing.T) {
+	p := NewProgram(testProfile(), 0, 3)
+	for i := 0; i < 50000; i++ {
+		in := p.Next()
+		if uint64(in.Dep1) >= in.Seq && in.Dep1 != 0 {
+			t.Fatalf("dep1 %d reaches before the stream start at seq %d", in.Dep1, in.Seq)
+		}
+		if uint64(in.Dep2) >= in.Seq && in.Dep2 != 0 {
+			t.Fatalf("dep2 %d reaches before the stream start at seq %d", in.Dep2, in.Seq)
+		}
+	}
+}
+
+// TestStaticClassStability: the class at a PC is stable across dynamic
+// visits within a phase — the property predictors rely on.
+func TestStaticClassStability(t *testing.T) {
+	p := NewProgram(testProfile(), 0, 5)
+	classAt := map[uint64]isa.Class{}
+	phase := p.PhaseName()
+	for i := 0; i < 30000; i++ {
+		in := p.Next()
+		if p.PhaseName() != phase {
+			classAt = map[uint64]isa.Class{}
+			phase = p.PhaseName()
+		}
+		if in.Class == isa.Syscall {
+			continue // syscalls are dynamic by design
+		}
+		if prev, ok := classAt[in.PC]; ok && prev != in.Class {
+			t.Fatalf("PC %#x changed class %v -> %v", in.PC, prev, in.Class)
+		}
+		classAt[in.PC] = in.Class
+	}
+}
+
+// TestBranchTargetStability: taken branches at the same PC always jump
+// to the same target (what the BTB learns).
+func TestBranchTargetStability(t *testing.T) {
+	p := NewProgram(testProfile(), 0, 6)
+	target := map[uint64]uint64{}
+	for i := 0; i < 50000; i++ {
+		in := p.Next()
+		if in.Class != isa.Branch || !in.Taken {
+			continue
+		}
+		if prev, ok := target[in.PC]; ok && prev != in.Target {
+			t.Fatalf("branch at %#x changed target %#x -> %#x", in.PC, prev, in.Target)
+		}
+		target[in.PC] = in.Target
+	}
+}
+
+func TestPhasesAlternate(t *testing.T) {
+	p := NewProgram(testProfile(), 0, 8)
+	seen := map[string]bool{}
+	for i := 0; i < 300000; i++ {
+		p.Next()
+		seen[p.PhaseName()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("only phases %v visited in 300k instructions", seen)
+	}
+}
+
+// TestClassMixApproximatesProfile: measured dynamic fractions should be
+// in the neighbourhood of the configured static fractions. Loops skew
+// dynamic frequencies, so the tolerance is loose; this guards against
+// gross generator breakage, not exact calibration.
+func TestClassMixApproximatesProfile(t *testing.T) {
+	for _, prof := range Profiles() {
+		p := NewProgram(prof, 0, 9)
+		var counts [isa.NumClasses]int
+		const n = 200000
+		for i := 0; i < n; i++ {
+			counts[p.Next().Class]++
+		}
+		memFrac := float64(counts[isa.Load]+counts[isa.Store]) / n
+		brFrac := float64(counts[isa.Branch]) / n
+		if memFrac < 0.05 || memFrac > 0.65 {
+			t.Errorf("%s: memory fraction %.3f outside sane range", prof.Name, memFrac)
+		}
+		if brFrac > 0.40 {
+			t.Errorf("%s: branch fraction %.3f implausibly high", prof.Name, brFrac)
+		}
+		if prof.Class == "fp" && counts[isa.FPAdd]+counts[isa.FPMult]+counts[isa.FPDiv] == 0 {
+			t.Errorf("%s: FP profile generated no FP instructions", prof.Name)
+		}
+	}
+}
+
+func TestAddressesWithinRegions(t *testing.T) {
+	p := NewProgram(testProfile(), 3, 10)
+	for i := 0; i < 50000; i++ {
+		in := p.Next()
+		if !in.Class.IsMem() {
+			continue
+		}
+		// Thread 3's data space starts at (3+1)<<52.
+		if in.Addr < 4<<52 || in.Addr >= 5<<52 {
+			t.Fatalf("address %#x outside thread 3's data region", in.Addr)
+		}
+	}
+}
+
+func TestThreadsDisjointAddressSpaces(t *testing.T) {
+	a := NewProgram(testProfile(), 0, 1)
+	b := NewProgram(testProfile(), 1, 1)
+	seenA := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		in := a.Next()
+		if in.Class.IsMem() {
+			seenA[in.Addr>>6] = true
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		in := b.Next()
+		if in.Class.IsMem() && seenA[in.Addr>>6] {
+			t.Fatalf("threads share data block %#x", in.Addr>>6)
+		}
+	}
+}
+
+// TestWrongPathDoesNotAdvance: generating wrong-path instructions must
+// not perturb the architectural stream.
+func TestWrongPathDoesNotAdvance(t *testing.T) {
+	p := NewProgram(testProfile(), 0, 11)
+	for i := 0; i < 1000; i++ {
+		p.Next()
+	}
+	c := p.Clone()
+	w := rng.New(99)
+	for i := 0; i < 500; i++ {
+		p.WrongPathInst(&w, uint64(0x1000+i))
+	}
+	for i := 0; i < 5000; i++ {
+		if p.Next() != c.Next() {
+			t.Fatalf("wrong-path generation perturbed the stream at %d", i)
+		}
+	}
+}
+
+func TestWrongPathInstSane(t *testing.T) {
+	p := NewProgram(testProfile(), 0, 12)
+	p.Next()
+	w := rng.New(1)
+	f := func(pcOff uint16) bool {
+		in := p.WrongPathInst(&w, uint64(pcOff))
+		if in.Seq != 0 {
+			return false // wrong-path instructions carry no real seq
+		}
+		if in.Class.IsMem() && in.Addr == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixPrograms(t *testing.T) {
+	mix, _ := MixByName("kitchen-sink")
+	progs, err := mix.Programs(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 8 {
+		t.Fatalf("got %d programs", len(progs))
+	}
+	// 4-thread derivation: seeded random exclusion, depends on seed.
+	p4a, err := mix.Programs(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4b, _ := mix.Programs(4, 1)
+	for i := range p4a {
+		if p4a[i].Profile().Name != p4b[i].Profile().Name {
+			t.Fatal("same-seed derivation is not deterministic")
+		}
+	}
+	if _, err := mix.Programs(0, 1); err == nil {
+		t.Fatal("Programs(0) should fail")
+	}
+	if _, err := mix.Programs(9, 1); err == nil {
+		t.Fatal("Programs(9) should fail")
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	bad := Phase{Name: "x", MeanLen: 100, BranchFrac: 0.9, LoadFrac: 0.9,
+		DataFootprint: 1024, CodeWords: 100, BiasedW: 1, MeanDepDist: 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("over-unity class fractions accepted")
+	}
+	missingFootprint := Phase{Name: "x", MeanLen: 100, CodeWords: 100, BiasedW: 1, MeanDepDist: 2}
+	if err := missingFootprint.Validate(); err == nil {
+		t.Fatal("zero footprint accepted")
+	}
+	p := Profile{Name: "p", Class: "weird", Phases: []Phase{{}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestGeometricPhaseLengths(t *testing.T) {
+	// Phase lengths should vary around MeanLen, not be constant.
+	prof := testProfile()
+	p := NewProgram(prof, 0, 13)
+	lengths := []int{}
+	cur := 0
+	phase := p.PhaseName()
+	for i := 0; i < 500000; i++ {
+		p.Next()
+		cur++
+		if p.PhaseName() != phase {
+			lengths = append(lengths, cur)
+			cur = 0
+			phase = p.PhaseName()
+		}
+	}
+	if len(lengths) < 4 {
+		t.Fatalf("only %d phase transitions in 500k instructions", len(lengths))
+	}
+	mean := 0.0
+	for _, l := range lengths {
+		mean += float64(l)
+	}
+	mean /= float64(len(lengths))
+	expect := float64(prof.Phases[0].MeanLen+prof.Phases[1].MeanLen) / 2
+	if math.Abs(mean-expect) > expect {
+		t.Fatalf("mean phase length %.0f, expected around %.0f", mean, expect)
+	}
+}
+
+func TestFlattenedProfile(t *testing.T) {
+	prof := testProfile()
+	flat := prof.Flattened()
+	if err := flat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Phases) != 1 {
+		t.Fatalf("flattened profile has %d phases", len(flat.Phases))
+	}
+	// The merged branch fraction must lie between the phase extremes.
+	lo, hi := 1.0, 0.0
+	for _, ph := range prof.Phases {
+		if ph.BranchFrac < lo {
+			lo = ph.BranchFrac
+		}
+		if ph.BranchFrac > hi {
+			hi = ph.BranchFrac
+		}
+	}
+	got := flat.Phases[0].BranchFrac
+	if got < lo || got > hi {
+		t.Fatalf("merged branch fraction %v outside [%v, %v]", got, lo, hi)
+	}
+	// A flattened program never changes phase.
+	p := NewProgram(flat, 0, 1)
+	name := p.PhaseName()
+	for i := 0; i < 100000; i++ {
+		p.Next()
+		if p.PhaseName() != name {
+			t.Fatal("flattened program changed phase")
+		}
+	}
+}
+
+func TestFlattenedPrograms(t *testing.T) {
+	mix, _ := MixByName("kitchen-sink")
+	progs, err := mix.FlattenedPrograms(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		if len(p.Profile().Phases) != 1 {
+			t.Fatalf("%s not flattened", p.Profile().Name)
+		}
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	st := Sample(testProfile(), 100000, 1)
+	if st.Instructions != 100000 {
+		t.Fatalf("instructions %d", st.Instructions)
+	}
+	if st.MemFrac() < 0.1 || st.MemFrac() > 0.6 {
+		t.Fatalf("gzip mem fraction %.3f implausible", st.MemFrac())
+	}
+	if st.TakenFrac() <= 0 || st.TakenFrac() >= 1 {
+		t.Fatalf("taken fraction %.3f degenerate", st.TakenFrac())
+	}
+	if st.WorkingSetBytes() < 4096 {
+		t.Fatalf("working set %d bytes implausibly small", st.WorkingSetBytes())
+	}
+	if st.StaticPCs == 0 || st.PhaseChanges == 0 {
+		t.Fatalf("degenerate sample: %+v", st)
+	}
+	// Footprint proxy should respect the configured footprint scale.
+	prof := testProfile()
+	maxFoot := 0
+	for _, ph := range prof.Phases {
+		maxFoot += int(ph.DataFootprint)
+	}
+	if st.WorkingSetBytes() > maxFoot+1<<20 {
+		t.Fatalf("working set %d exceeds configured footprints %d", st.WorkingSetBytes(), maxFoot)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a := Sample(testProfile(), 20000, 5)
+	b := Sample(testProfile(), 20000, 5)
+	if a != b {
+		t.Fatal("Sample is not deterministic")
+	}
+}
+
+func TestStaticBranchPropertiesSharedAcrossInstances(t *testing.T) {
+	// Two programs with the same (profile, tid, seed) must agree on
+	// every static branch property even though their dynamic streams
+	// are consumed independently.
+	a := NewProgram(testProfile(), 2, 77)
+	b := NewProgram(testProfile(), 2, 77)
+	targetsA := map[uint64]uint64{}
+	for i := 0; i < 30000; i++ {
+		in := a.Next()
+		if in.Class == isa.Branch && in.Taken {
+			targetsA[in.PC] = in.Target
+		}
+	}
+	for i := 0; i < 30000; i++ {
+		in := b.Next()
+		if in.Class == isa.Branch && in.Taken {
+			if want, ok := targetsA[in.PC]; ok && want != in.Target {
+				t.Fatalf("branch %#x target differs across instances", in.PC)
+			}
+		}
+	}
+}
