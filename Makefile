@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments tools clean
+.PHONY: all build vet test test-short check bench experiments tools clean
 
 all: build vet test
+
+# PR gate: vet + full build + race-checked tests for the concurrent
+# runner and its callers.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./internal/runner ./internal/stats
 
 build:
 	$(GO) build ./...

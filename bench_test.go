@@ -10,6 +10,7 @@ package repro
 // results at reduced scale. cmd/adts-sweep runs the full-scale versions.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -42,7 +43,7 @@ func BenchmarkTable1FixedPolicies(b *testing.B) {
 			var ipc float64
 			for i := 0; i < b.N; i++ {
 				o := benchOpts()
-				res, err := experiments.RunTable1Policy(o, p)
+				res, err := experiments.RunTable1Policy(context.Background(), o, p)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -65,7 +66,7 @@ func BenchmarkFig7Fig8Grid(b *testing.B) {
 				var cell experiments.Cell
 				var base float64
 				for i := 0; i < b.N; i++ {
-					s, err := experiments.RunSweep(benchOpts(), []float64{m}, []detector.Heuristic{h})
+					s, err := experiments.RunSweep(context.Background(), benchOpts(), []float64{m}, []detector.Heuristic{h})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -88,7 +89,7 @@ func BenchmarkOracleHeadroom(b *testing.B) {
 	var head float64
 	for i := 0; i < b.N; i++ {
 		o := benchOpts()
-		res, err := experiments.RunOracle(o)
+		res, err := experiments.RunOracle(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkSaturation(b *testing.B) {
 			var fixed, adaptive float64
 			for i := 0; i < b.N; i++ {
 				o := benchOpts()
-				res, err := experiments.RunSaturation(o, []int{n})
+				res, err := experiments.RunSaturation(context.Background(), o, []int{n})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -125,7 +126,7 @@ func BenchmarkCalibration(b *testing.B) {
 	var cal *experiments.Calibration
 	for i := 0; i < b.N; i++ {
 		var err error
-		cal, err = experiments.RunCalibration(benchOpts())
+		cal, err = experiments.RunCalibration(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -266,7 +267,7 @@ func BenchmarkJobScheduler(b *testing.B) {
 		o := benchOpts()
 		o.Intervals = 1
 		var err error
-		res, err = experiments.RunJobsched(o, 6)
+		res, err = experiments.RunJobsched(context.Background(), o, 6)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,21 +4,35 @@
 // upper bound, the homogeneous-vs-diverse comparison, the thread-count
 // saturation experiment, and the §4.3.2 condition-threshold calibration.
 //
+// Runs go through the resilient runner (internal/runner): progress ticks
+// on stderr, Ctrl-C drains in-flight simulations and flushes them to the
+// checkpoint file, and -resume continues an interrupted sweep without
+// recomputing finished runs.
+//
 // Usage:
 //
 //	adts-sweep -all
 //	adts-sweep -fig7 -fig8 -quanta 64 -intervals 3
 //	adts-sweep -table1 -mixes kitchen-sink,int-memory
+//	adts-sweep -fig8 -checkpoint sweep.jsonl     # interruptible
+//	adts-sweep -fig8 -resume sweep.jsonl         # continue after Ctrl-C
+//	adts-sweep -table1 -json > table1.json       # machine-readable
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/detector"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -35,12 +49,15 @@ func main() {
 		headline   = flag.Bool("headline", false, "§6 headline: best configuration vs fixed ICOUNT")
 		similarity = flag.Bool("similarity", false, "homogeneous vs diverse mix gains (§6)")
 
-		quanta    = flag.Int("quanta", 64, "measured scheduling quanta per run")
-		intervals = flag.Int("intervals", 3, "measurement intervals per mix (paper used 10)")
-		threads   = flag.Int("threads", 8, "hardware contexts")
-		seed      = flag.Uint64("seed", 1, "base seed")
-		workers   = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
-		mixesFlag = flag.String("mixes", "", "comma-separated mix subset (default: all 13)")
+		quanta      = flag.Int("quanta", 64, "measured scheduling quanta per run")
+		intervals   = flag.Int("intervals", 3, "measurement intervals per mix (paper used 10)")
+		threads     = flag.Int("threads", 8, "hardware contexts")
+		seed        = flag.Uint64("seed", 1, "base seed")
+		workers     = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		mixesFlag   = flag.String("mixes", "", "comma-separated mix subset (default: all 13)")
+		checkpointF = flag.String("checkpoint", "", "record completed runs to this JSONL file (overwrites)")
+		resumeF     = flag.String("resume", "", "resume from (and keep appending to) this checkpoint file")
+		jsonF       = flag.Bool("json", false, "emit machine-readable JSON results to stdout instead of tables")
 	)
 	flag.Parse()
 
@@ -50,14 +67,43 @@ func main() {
 	o.Threads = *threads
 	o.Seed = *seed
 	o.Workers = *workers
+	o.Progress = os.Stderr
 	if *mixesFlag != "" {
-		o.Mixes = strings.Split(*mixesFlag, ",")
+		o.Mixes = splitMixes(*mixesFlag)
+		if len(o.Mixes) == 0 {
+			fatalf("-mixes %q selects no mixes", *mixesFlag)
+		}
 		for _, m := range o.Mixes {
 			if _, ok := trace.MixByName(m); !ok {
 				fatalf("unknown mix %q", m)
 			}
 		}
 	}
+
+	// -resume implies checkpointing to the same file without truncating.
+	ckPath, ckResume := *checkpointF, false
+	if *resumeF != "" {
+		if ckPath != "" && ckPath != *resumeF {
+			fatalf("-checkpoint %q and -resume %q name different files", ckPath, *resumeF)
+		}
+		ckPath, ckResume = *resumeF, true
+	}
+	if ckPath != "" {
+		cp, err := runner.Open(ckPath, ckResume)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer cp.Close()
+		if ckResume && cp.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d runs already checkpointed in %s\n", cp.Len(), ckPath)
+		}
+		o.Checkpoint = cp
+	}
+
+	// Ctrl-C / SIGTERM cancels the sweep context: in-flight runs drain
+	// and flush to the checkpoint before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *all {
 		*fig7, *fig8, *table1, *oracleF, *saturation, *calibrate, *headline, *similarity, *jobschedF =
@@ -68,40 +114,58 @@ func main() {
 		os.Exit(2)
 	}
 
+	// out collects the machine-readable export for -json.
+	var out struct {
+		Sweep      *experiments.Sweep            `json:"sweep,omitempty"`
+		Table1     *experiments.Table1Result     `json:"table1,omitempty"`
+		Oracle     *experiments.OracleResult     `json:"oracle,omitempty"`
+		Envelope   *experiments.EnvelopeResult   `json:"envelope,omitempty"`
+		Saturation *experiments.SaturationResult `json:"saturation,omitempty"`
+		Calibrate  *experiments.Calibration      `json:"calibrate,omitempty"`
+		Jobsched   *experiments.JobschedResult   `json:"jobsched,omitempty"`
+	}
+	emit := func(s fmt.Stringer) {
+		if !*jsonF {
+			fmt.Println(s)
+		}
+	}
+
 	var sweep *experiments.Sweep
 	needSweep := *fig7 || *fig8 || *headline || *similarity
 	if needSweep {
 		fmt.Fprintf(os.Stderr, "running threshold x heuristic sweep (%d mixes x %d intervals x 25 configs + baseline)...\n",
 			len(o.MixNames()), o.Intervals)
 		var err error
-		sweep, err = experiments.RunSweep(o, nil, nil)
+		sweep, err = experiments.RunSweep(ctx, o, nil, nil)
 		if err != nil {
-			fatalf("sweep: %v", err)
+			sweepFatal("sweep", err, ckPath)
 		}
+		out.Sweep = sweep
 	}
 
 	if *table1 {
-		res, err := experiments.RunTable1(o)
+		res, err := experiments.RunTable1(ctx, o)
 		if err != nil {
-			fatalf("table1: %v", err)
+			sweepFatal("table1", err, ckPath)
 		}
-		fmt.Println(res.Table())
-		fmt.Println(res.PerMixTable())
+		out.Table1 = res
+		emit(res.Table())
+		emit(res.PerMixTable())
 	}
 	if *fig7 {
-		fmt.Println(sweep.Figure7Switches())
-		fmt.Println(sweep.Figure7Benign())
+		emit(sweep.Figure7Switches())
+		emit(sweep.Figure7Benign())
 	}
 	if *fig8 {
-		fmt.Println(sweep.Figure8IPC())
-		fmt.Println(sweep.Figure8Improvement())
-		fmt.Println(sweep.Figure8Chart())
+		emit(sweep.Figure8IPC())
+		emit(sweep.Figure8Improvement())
+		emit(sweep.Figure8Chart())
 	}
-	if *headline {
+	if *headline && !*jsonF {
 		fmt.Println(sweep.Headline())
 		fmt.Println()
 	}
-	if *similarity {
+	if *similarity && !*jsonF {
 		homo := map[string]bool{}
 		for _, m := range trace.Mixes() {
 			homo[m.Name] = m.Homogeneous
@@ -114,38 +178,80 @@ func main() {
 			100*hg, 100*dg)
 	}
 	if *oracleF {
-		res, err := experiments.RunOracle(o)
+		res, err := experiments.RunOracle(ctx, o)
 		if err != nil {
-			fatalf("oracle: %v", err)
+			sweepFatal("oracle", err, ckPath)
 		}
-		fmt.Println(res.Table())
-		env, err := experiments.RunEnvelope(o, nil)
+		out.Oracle = res
+		emit(res.Table())
+		env, err := experiments.RunEnvelope(ctx, o, nil)
 		if err != nil {
-			fatalf("envelope: %v", err)
+			sweepFatal("envelope", err, ckPath)
 		}
-		fmt.Println(env.Table())
+		out.Envelope = env
+		emit(env.Table())
 	}
 	if *saturation {
-		res, err := experiments.RunSaturation(o, nil)
+		res, err := experiments.RunSaturation(ctx, o, nil)
 		if err != nil {
-			fatalf("saturation: %v", err)
+			sweepFatal("saturation", err, ckPath)
 		}
-		fmt.Println(res.Table())
+		out.Saturation = res
+		emit(res.Table())
 	}
 	if *calibrate {
-		res, err := experiments.RunCalibration(o)
+		res, err := experiments.RunCalibration(ctx, o)
 		if err != nil {
-			fatalf("calibrate: %v", err)
+			sweepFatal("calibrate", err, ckPath)
 		}
-		fmt.Println(res.Table())
+		out.Calibrate = res
+		emit(res.Table())
 	}
 	if *jobschedF {
-		res, err := experiments.RunJobsched(o, 12)
+		res, err := experiments.RunJobsched(ctx, o, 12)
 		if err != nil {
-			fatalf("jobsched: %v", err)
+			sweepFatal("jobsched", err, ckPath)
 		}
-		fmt.Println(res.Table())
+		out.Jobsched = res
+		emit(res.Table())
 	}
+
+	if *jsonF {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("json: %v", err)
+		}
+	}
+}
+
+// splitMixes parses the -mixes value: comma-separated names with
+// whitespace trimmed and empty entries dropped, so
+// "kitchen-sink, int-memory" or a trailing comma both work.
+func splitMixes(s string) []string {
+	var mixes []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			mixes = append(mixes, m)
+		}
+	}
+	return mixes
+}
+
+// sweepFatal reports an experiment failure; an interrupt with an active
+// checkpoint exits with the conventional SIGINT status and a resume
+// hint instead of a bare error.
+func sweepFatal(what string, err error, ckPath string) {
+	if errors.Is(err, context.Canceled) {
+		if ckPath != "" {
+			fmt.Fprintf(os.Stderr, "adts-sweep: %s interrupted; completed runs are in %s — re-run with -resume %s to continue\n",
+				what, ckPath, ckPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "adts-sweep: %s interrupted (no -checkpoint; completed runs were discarded)\n", what)
+		}
+		os.Exit(130)
+	}
+	fatalf("%s: %v", what, err)
 }
 
 func fatalf(format string, args ...any) {

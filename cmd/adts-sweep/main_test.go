@@ -1,0 +1,27 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Regression: -mixes used to split on "," without trimming, so
+// "kitchen-sink, int-memory" rejected " int-memory" as unknown.
+func TestSplitMixes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"kitchen-sink", []string{"kitchen-sink"}},
+		{"kitchen-sink,int-memory", []string{"kitchen-sink", "int-memory"}},
+		{"kitchen-sink, int-memory", []string{"kitchen-sink", "int-memory"}},
+		{"  kitchen-sink ,\tint-memory ", []string{"kitchen-sink", "int-memory"}},
+		{"kitchen-sink,,int-memory,", []string{"kitchen-sink", "int-memory"}},
+		{" , ", nil},
+		{"", nil},
+	} {
+		if got := splitMixes(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitMixes(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

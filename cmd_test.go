@@ -4,12 +4,16 @@ package repro
 // paths. These catch flag-wiring regressions the package tests cannot.
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 var (
@@ -136,5 +140,103 @@ func TestCLISmtsimCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "0,ICOUNT,") {
 		t.Fatalf("bad CSV row: %s", lines[1])
+	}
+}
+
+// runStdout runs a binary capturing stdout only: adts-sweep's progress
+// and resume hints tick on stderr and vary run to run, while stdout is
+// deterministic.
+func runStdout(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr:\n%s", name, args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// Regression: -mixes with spaces around the commas used to reject the
+// trimmed-away names as unknown mixes.
+func TestCLIAdtsSweepMixesTrimmed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow CLI run")
+	}
+	out := run(t, "adts-sweep", "-calibrate", "-quanta", "2", "-intervals", "1",
+		"-mixes", "int-compute, mixed-lowipc ,")
+	if !strings.Contains(out, "paper threshold") {
+		t.Fatalf("adts-sweep with spaced -mixes broken:\n%s", out)
+	}
+}
+
+func TestCLIAdtsSweepJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow CLI run")
+	}
+	out := runStdout(t, "adts-sweep", "-table1", "-json", "-quanta", "2", "-intervals", "1",
+		"-mixes", "int-compute")
+	var doc struct {
+		Table1 *struct {
+			MeanIPC map[string]float64 `json:"MeanIPC"`
+		} `json:"table1"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Table1 == nil || len(doc.Table1.MeanIPC) != 10 {
+		t.Fatalf("-json table1 export incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "### ") {
+		t.Fatalf("-json mode still printed markdown tables:\n%s", out)
+	}
+}
+
+// TestCLIAdtsSweepCheckpointResume is the acceptance flow: interrupt a
+// checkpointed -fig8 sweep mid-run, resume it, and require output
+// byte-identical to an uninterrupted run.
+func TestCLIAdtsSweepCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow CLI run")
+	}
+	ck := filepath.Join(t.TempDir(), "s.jsonl")
+	args := []string{"-fig8", "-quanta", "2", "-intervals", "1",
+		"-mixes", "int-compute,mixed-lowipc", "-workers", "1"}
+	fresh := runStdout(t, "adts-sweep", args...)
+
+	cmd := exec.Command(filepath.Join(binaries(t), "adts-sweep"),
+		append(args, "-checkpoint", ck)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt once at least one run has been checkpointed.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if fi, err := os.Stat(ck); err == nil && fi.Size() > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		// The conventional interrupted status; a nil error means the
+		// sweep won the race and finished first, which is also fine.
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 130 {
+			t.Fatalf("interrupted sweep: %v\nstderr:\n%s", err, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "-resume") {
+			t.Fatalf("interrupt did not print a resume hint:\n%s", stderr.String())
+		}
+	}
+
+	resumed := runStdout(t, "adts-sweep", append(args, "-resume", ck)...)
+	if resumed != fresh {
+		t.Fatalf("resumed output differs from uninterrupted run:\nfresh:\n%s\nresumed:\n%s",
+			fresh, resumed)
 	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	o.Mixes = []string{"kitchen-sink", "mixed-lowipc", "int-compute", "fp-stream"}
 
 	threads := []int{1, 2, 4, 6, 8}
-	res, err := experiments.RunSaturation(o, threads)
+	res, err := experiments.RunSaturation(context.Background(), o, threads)
 	if err != nil {
 		log.Fatal(err)
 	}

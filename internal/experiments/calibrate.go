@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -23,7 +25,7 @@ type Calibration struct {
 // fixed-ICOUNT runs over all mixes, averaging the four condition
 // metrics. The detector's DefaultConfig ships the paper's published
 // values; this shows where this simulator's own averages land.
-func RunCalibration(o Options) (*Calibration, error) {
+func RunCalibration(ctx context.Context, o Options) (*Calibration, error) {
 	mixes := o.mixes()
 	var jobs []stats.Job
 	for _, mix := range mixes {
@@ -34,7 +36,7 @@ func RunCalibration(o Options) (*Calibration, error) {
 			})
 		}
 	}
-	results, err := o.runAll(jobs)
+	results, err := o.runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestEnvelopeAtLeastBaseline(t *testing.T) {
 	o := tiny()
 	o.Mixes = []string{"mixed-lowipc"}
-	res, err := RunEnvelope(o, nil)
+	res, err := RunEnvelope(context.Background(), o, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestEnvelopeAtLeastBaseline(t *testing.T) {
 func TestEnvelopeSinglePolicyIsIdentity(t *testing.T) {
 	o := tiny()
 	o.Mixes = []string{"int-compute"}
-	res, err := RunEnvelope(o, []policy.Policy{policy.ICOUNT})
+	res, err := RunEnvelope(context.Background(), o, []policy.Policy{policy.ICOUNT})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestEnvelopeSinglePolicyIsIdentity(t *testing.T) {
 func TestJobschedExperiment(t *testing.T) {
 	o := tiny()
 	o.Intervals = 1
-	res, err := RunJobsched(o, 3)
+	res, err := RunJobsched(context.Background(), o, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

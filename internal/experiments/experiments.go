@@ -16,12 +16,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/pipeline"
 	"repro/internal/policy"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -44,7 +47,18 @@ type Options struct {
 	Workers int
 	// Machine returns the machine configuration (defaults to
 	// pipeline.DefaultConfig; override for ablations).
-	Machine func() pipeline.Config
+	Machine func() pipeline.Config `json:"-"`
+
+	// Checkpoint, when non-nil, records each completed run (keyed by
+	// job name + config hash) and satisfies already-recorded runs on
+	// resume instead of recomputing them.
+	Checkpoint *runner.Checkpoint `json:"-"`
+	// Progress, when non-nil, receives runner progress lines
+	// (completed/total, jobs/sec, ETA); the CLI passes stderr.
+	Progress io.Writer `json:"-"`
+	// RunHook, when non-nil, is called after every job settles
+	// (completed, resumed from checkpoint, or failed).
+	RunHook func(runner.Event) `json:"-"`
 }
 
 // DefaultOptions returns the configuration used for the recorded
@@ -117,10 +131,15 @@ func (o Options) OracleConfig(mix string, interval int) core.Config {
 	return cfg
 }
 
-// runAll is a thin wrapper over stats.RunAll with the options' worker
-// bound.
-func (o Options) runAll(jobs []stats.Job) ([]core.Result, error) {
-	return stats.RunAll(jobs, o.Workers)
+// runAll executes the jobs through the resilient runner with the
+// options' worker bound, checkpoint, progress writer, and hook.
+func (o Options) runAll(ctx context.Context, jobs []stats.Job) ([]core.Result, error) {
+	return runner.Run(ctx, stats.RunnerJobs(jobs), runner.Options{
+		Workers:    o.Workers,
+		Checkpoint: o.Checkpoint,
+		Progress:   o.Progress,
+		Hook:       o.RunHook,
+	})
 }
 
 // meanByMix averages per-interval results grouped by mix name and

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestSweepStructure(t *testing.T) {
 	o := tiny()
 	thresholds := []float64{1, 3}
 	heuristics := []detector.Heuristic{detector.Type1, detector.Type3}
-	s, err := RunSweep(o, thresholds, heuristics)
+	s, err := RunSweep(context.Background(), o, thresholds, heuristics)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestSweepMoreSwitchingAtHigherThreshold(t *testing.T) {
 	// quanta low-throughput, so switching cannot decrease.
 	o := tiny()
 	o.Quanta = 8
-	s, err := RunSweep(o, []float64{0.5, 8}, []detector.Heuristic{detector.Type1})
+	s, err := RunSweep(context.Background(), o, []float64{0.5, 8}, []detector.Heuristic{detector.Type1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestSweepMoreSwitchingAtHigherThreshold(t *testing.T) {
 
 func TestSimilaritySplit(t *testing.T) {
 	o := tiny()
-	s, err := RunSweep(o, []float64{2}, []detector.Heuristic{detector.Type3})
+	s, err := RunSweep(context.Background(), o, []float64{2}, []detector.Heuristic{detector.Type3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestSimilaritySplit(t *testing.T) {
 
 func TestTable1(t *testing.T) {
 	o := tiny()
-	res, err := RunTable1(o)
+	res, err := RunTable1(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestTable1(t *testing.T) {
 func TestOracleExperiment(t *testing.T) {
 	o := tiny()
 	o.Mixes = []string{"mixed-lowipc"}
-	res, err := RunOracle(o)
+	res, err := RunOracle(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestOracleExperiment(t *testing.T) {
 func TestSaturationExperiment(t *testing.T) {
 	o := tiny()
 	o.Mixes = []string{"int-compute"}
-	res, err := RunSaturation(o, []int{1, 4})
+	res, err := RunSaturation(context.Background(), o, []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestSaturationExperiment(t *testing.T) {
 
 func TestCalibrationExperiment(t *testing.T) {
 	o := tiny()
-	cal, err := RunCalibration(o)
+	cal, err := RunCalibration(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestOptionsDefaults(t *testing.T) {
 func TestRunTable1Policy(t *testing.T) {
 	o := tiny()
 	o.Mixes = []string{"int-compute"}
-	ipc, err := RunTable1Policy(o, policy.ICOUNT)
+	ipc, err := RunTable1Policy(context.Background(), o, policy.ICOUNT)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestRunTable1Policy(t *testing.T) {
 }
 
 func TestFigure8Chart(t *testing.T) {
-	s, err := RunSweep(tiny(), []float64{1, 2}, []detector.Heuristic{detector.Type1})
+	s, err := RunSweep(context.Background(), tiny(), []float64{1, 2}, []detector.Heuristic{detector.Type1})
 	if err != nil {
 		t.Fatal(err)
 	}

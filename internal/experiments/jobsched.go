@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/detector"
@@ -23,7 +24,9 @@ type JobschedResult struct {
 
 // RunJobsched multiplexes a 16-job pool (the whole profile catalogue)
 // over 8 contexts for the given number of slices under every policy.
-func RunJobsched(o Options, slices int) (*JobschedResult, error) {
+// The scheduler runs serially, so ctx is checked between intervals
+// rather than threaded into the pool.
+func RunJobsched(ctx context.Context, o Options, slices int) (*JobschedResult, error) {
 	if slices <= 0 {
 		slices = 12
 	}
@@ -33,6 +36,9 @@ func RunJobsched(o Options, slices int) (*JobschedResult, error) {
 		var ipcs []float64
 		var stall, clog, sw uint64
 		for it := 0; it < o.Intervals; it++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			mix, _ := trace.MixByName("kitchen-sink")
 			progs, err := mix.Programs(8, o.Seed+uint64(it))
 			if err != nil {

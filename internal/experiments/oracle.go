@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -17,7 +19,7 @@ type OracleResult struct {
 }
 
 // RunOracle measures the oracle headroom over fixed ICOUNT.
-func RunOracle(o Options) (*OracleResult, error) {
+func RunOracle(ctx context.Context, o Options) (*OracleResult, error) {
 	mixes := o.mixes()
 	var jobs []stats.Job
 	for _, mix := range mixes {
@@ -36,7 +38,7 @@ func RunOracle(o Options) (*OracleResult, error) {
 			})
 		}
 	}
-	results, err := o.runAll(jobs)
+	results, err := o.runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +81,7 @@ type EnvelopeResult struct {
 
 // RunEnvelope measures the post-hoc envelope over the given policies
 // (DefaultCandidates' three when pols is nil).
-func RunEnvelope(o Options, pols []policy.Policy) (*EnvelopeResult, error) {
+func RunEnvelope(ctx context.Context, o Options, pols []policy.Policy) (*EnvelopeResult, error) {
 	if pols == nil {
 		pols = []policy.Policy{policy.ICOUNT, policy.BRCOUNT, policy.L1MISSCOUNT}
 	}
@@ -95,7 +97,7 @@ func RunEnvelope(o Options, pols []policy.Policy) (*EnvelopeResult, error) {
 			}
 		}
 	}
-	results, err := o.runAll(jobs)
+	results, err := o.runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

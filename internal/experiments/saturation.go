@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/detector"
@@ -21,7 +22,7 @@ type SaturationResult struct {
 
 // RunSaturation sweeps the thread count under fixed ICOUNT and under
 // ADTS (Type 3, m = 2, the paper's best configuration).
-func RunSaturation(o Options, threads []int) (*SaturationResult, error) {
+func RunSaturation(ctx context.Context, o Options, threads []int) (*SaturationResult, error) {
 	if threads == nil {
 		threads = []int{1, 2, 4, 6, 8}
 	}
@@ -51,7 +52,7 @@ func RunSaturation(o Options, threads []int) (*SaturationResult, error) {
 			}
 		}
 	}
-	results, err := o.runAll(jobs)
+	results, err := o.runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

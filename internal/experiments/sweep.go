@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/detector"
@@ -38,8 +39,10 @@ type Sweep struct {
 }
 
 // RunSweep executes the full grid: (thresholds x heuristics x mixes x
-// intervals) adaptive runs plus the fixed-ICOUNT baseline.
-func RunSweep(o Options, thresholds []float64, heuristics []detector.Heuristic) (*Sweep, error) {
+// intervals) adaptive runs plus the fixed-ICOUNT baseline. Cancelling
+// ctx drains in-flight runs, flushes them to the options' checkpoint
+// (if any), and returns the context error.
+func RunSweep(ctx context.Context, o Options, thresholds []float64, heuristics []detector.Heuristic) (*Sweep, error) {
 	if thresholds == nil {
 		thresholds = DefaultThresholds()
 	}
@@ -72,7 +75,7 @@ func RunSweep(o Options, thresholds []float64, heuristics []detector.Heuristic) 
 		}
 	}
 
-	results, err := o.runAll(jobs)
+	results, err := o.runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

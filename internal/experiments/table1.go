@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -18,7 +20,7 @@ type Table1Result struct {
 
 // RunTable1 evaluates all ten fetch policies of Table 1 as fixed
 // policies over the mixes.
-func RunTable1(o Options) (*Table1Result, error) {
+func RunTable1(ctx context.Context, o Options) (*Table1Result, error) {
 	pols := policy.All()
 	mixes := o.mixes()
 	var jobs []stats.Job
@@ -32,7 +34,7 @@ func RunTable1(o Options) (*Table1Result, error) {
 			}
 		}
 	}
-	results, err := o.runAll(jobs)
+	results, err := o.runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +58,7 @@ func RunTable1(o Options) (*Table1Result, error) {
 
 // RunTable1Policy evaluates a single fixed policy over the options'
 // mixes and returns its cross-mix mean IPC (one Table 1 row).
-func RunTable1Policy(o Options, p policy.Policy) (float64, error) {
+func RunTable1Policy(ctx context.Context, o Options, p policy.Policy) (float64, error) {
 	mixes := o.mixes()
 	var jobs []stats.Job
 	for _, mix := range mixes {
@@ -67,7 +69,7 @@ func RunTable1Policy(o Options, p policy.Policy) (float64, error) {
 			})
 		}
 	}
-	results, err := o.runAll(jobs)
+	results, err := o.runAll(ctx, jobs)
 	if err != nil {
 		return 0, err
 	}

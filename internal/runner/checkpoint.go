@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Entry is one checkpoint line: a settled job keyed by name + config
+// hash with its JSON-encoded result. The file is JSONL — one Entry per
+// line, appended as jobs complete, so an interrupt loses at most the
+// line being written (a torn tail line is skipped on resume).
+type Entry struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Checkpoint is an append-only JSONL record of completed jobs. It is
+// safe for concurrent Record calls from pool workers.
+type Checkpoint struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]json.RawMessage
+}
+
+// Open creates or opens a checkpoint file. With resume true, existing
+// entries are loaded (satisfying matching jobs on the next Run) and new
+// results append; with resume false any existing file is truncated.
+func Open(path string, resume bool) (*Checkpoint, error) {
+	done := make(map[string]json.RawMessage)
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("runner: resume %s: %w", path, err)
+		}
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			var e Entry
+			if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+				continue // torn tail line from an interrupted write
+			}
+			done[e.Key] = e.Result
+		}
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
+	}
+	return &Checkpoint{path: path, f: f, done: done}, nil
+}
+
+// Path returns the backing file path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Len returns the number of recorded entries.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Lookup returns the recorded result for key, if any.
+func (c *Checkpoint) Lookup(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.done[key]
+	return raw, ok
+}
+
+// Record appends one completed job. The line reaches the file before
+// Record returns, so results survive a subsequent interrupt.
+func (c *Checkpoint) Record(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(Entry{Key: key, Result: raw})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(line); err != nil {
+		return err
+	}
+	c.done[key] = raw
+	return nil
+}
+
+// Close closes the backing file. Lookup keeps working afterwards;
+// Record does not.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}

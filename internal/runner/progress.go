@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// startProgress launches the reporter goroutine: every interval it
+// writes one completed/total, jobs/sec, ETA line, skipping ticks with
+// no change. The returned func stops the reporter and emits a final
+// summary line.
+func startProgress(w io.Writer, interval time.Duration, total, resumed int, completed *atomic.Int64) func() {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		last := int64(-1)
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				n := completed.Load()
+				if n == last {
+					continue
+				}
+				last = n
+				fmt.Fprintln(w, progressLine(int(n), total, resumed, time.Since(start)))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+		n := int(completed.Load())
+		fmt.Fprintf(w, "runner: %d/%d jobs settled (%d resumed) in %s\n",
+			n, total, resumed, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// progressLine formats one ticker line. Rate and ETA are computed over
+// fresh completions only, so a mostly-resumed sweep does not advertise
+// an absurd jobs/sec.
+func progressLine(completed, total, resumed int, elapsed time.Duration) string {
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(completed) / float64(total)
+	}
+	fresh := completed - resumed
+	rate := 0.0
+	if elapsed > 0 && fresh > 0 {
+		rate = float64(fresh) / elapsed.Seconds()
+	}
+	eta := "?"
+	if rate > 0 {
+		remaining := time.Duration(float64(total-completed) / rate * float64(time.Second))
+		eta = remaining.Round(time.Second).String()
+	}
+	return fmt.Sprintf("runner: %d/%d (%.1f%%) %.1f jobs/s ETA %s", completed, total, pct, rate, eta)
+}

@@ -1,0 +1,239 @@
+// Package runner is the resilient job executor behind every sweep: a
+// context-aware worker pool with graceful cancellation (in-flight jobs
+// drain and their results are flushed before Run returns), per-job
+// panic recovery with one bounded retry, JSONL checkpointing keyed by
+// job name + config hash so an interrupted sweep resumes instead of
+// recomputing, and a progress reporter ticking on stderr.
+//
+// Lifecycle of one Run call:
+//
+//  1. Resume pass — jobs whose Key is already in the checkpoint are
+//     satisfied from it without running.
+//  2. Dispatch — remaining jobs are fed to a bounded worker pool.
+//     Results land index-aligned with the input slice, so output is
+//     byte-identical regardless of worker count or resume point.
+//  3. Settle — each completed job is appended to the checkpoint
+//     immediately (one JSONL line per job, flushed per write).
+//  4. Drain — on context cancellation or first job failure no new
+//     jobs are dispatched; in-flight jobs finish and are recorded.
+//
+// Run fails fast: the first job error stops dispatch, and the returned
+// error is an errors.Join naming every job that failed.
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one named, independently runnable unit of work.
+type Job[T any] struct {
+	// Name identifies the job in errors and hook events.
+	Name string
+	// Key is the checkpoint identity (job name + config hash; see
+	// KeyOf). Empty disables checkpointing for this job.
+	Key string
+	// Run computes the result. It must be deterministic for checkpoint
+	// resume to be sound.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Event describes one settled job, delivered to Options.Hook.
+type Event struct {
+	Index     int    // position in the input slice
+	Name      string // job name
+	Err       error  // non-nil when the job failed
+	Resumed   bool   // satisfied from the checkpoint without running
+	Attempts  int    // execution attempts (0 when resumed)
+	Completed int    // jobs settled so far, including this one
+	Total     int    // total jobs in this Run call
+}
+
+// Options configures a Run call.
+type Options struct {
+	// Workers bounds pool parallelism; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Checkpoint, when non-nil, is consulted before running each job
+	// and appended to after each completion.
+	Checkpoint *Checkpoint
+	// Progress, when non-nil, receives periodic completed/total,
+	// jobs/sec and ETA lines (the CLI passes stderr).
+	Progress io.Writer
+	// ProgressInterval is the reporting period; <= 0 selects 1s.
+	ProgressInterval time.Duration
+	// Hook, when non-nil, is called after every job settles (resumed,
+	// completed, or failed). It may be called from multiple goroutines.
+	Hook func(Event)
+}
+
+// PanicError is a recovered job panic converted to an error.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
+
+// KeyOf derives a checkpoint key from a job name and its config: the
+// name plus a short SHA-256 of the config's JSON encoding, so a stale
+// checkpoint written under different experimental conditions never
+// satisfies a job.
+func KeyOf(name string, config any) string {
+	raw, err := json.Marshal(config)
+	if err != nil {
+		return name
+	}
+	sum := sha256.Sum256(raw)
+	return name + "#" + hex.EncodeToString(sum[:8])
+}
+
+// Run executes the jobs and returns results index-aligned with them.
+//
+// On success the error is nil. On job failure, dispatch stops at the
+// first error and the returned error joins one error per failed job.
+// On context cancellation, in-flight jobs drain, their results are
+// checkpointed, and the returned error wraps ctx.Err(); the result
+// slice holds every completed job (zero values elsewhere).
+func Run[T any](ctx context.Context, jobs []Job[T], o Options) ([]T, error) {
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var completed atomic.Int64
+	hook := func(e Event) {
+		if o.Hook != nil {
+			o.Hook(e)
+		}
+	}
+
+	// Resume pass: satisfy jobs already in the checkpoint.
+	pending := make([]int, 0, len(jobs))
+	for i, j := range jobs {
+		if o.Checkpoint != nil && j.Key != "" {
+			if raw, ok := o.Checkpoint.Lookup(j.Key); ok {
+				var v T
+				if err := json.Unmarshal(raw, &v); err == nil {
+					results[i] = v
+					n := int(completed.Add(1))
+					hook(Event{Index: i, Name: j.Name, Resumed: true, Completed: n, Total: len(jobs)})
+					continue
+				}
+				// Corrupt entry: fall through and recompute.
+			}
+		}
+		pending = append(pending, i)
+	}
+	resumed := len(jobs) - len(pending)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var stopProgress func()
+	if o.Progress != nil {
+		stopProgress = startProgress(o.Progress, o.ProgressInterval, len(jobs), resumed, &completed)
+	}
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// A cancel can race the dispatcher's select; skip jobs
+				// that slipped through so fail-fast stays strict.
+				if runCtx.Err() != nil {
+					continue
+				}
+				j := jobs[i]
+				v, attempts, err := attempt(runCtx, j)
+				if err == nil && o.Checkpoint != nil && j.Key != "" {
+					if cerr := o.Checkpoint.Record(j.Key, v); cerr != nil {
+						err = fmt.Errorf("checkpoint: %w", cerr)
+					}
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("job %q: %w", j.Name, err)
+					cancel() // fail fast: stop dispatching
+				} else {
+					results[i] = v
+				}
+				n := int(completed.Add(1))
+				hook(Event{Index: i, Name: j.Name, Err: errs[i], Attempts: attempts, Completed: n, Total: len(jobs)})
+			}
+		}()
+	}
+
+dispatch:
+	for _, i := range pending {
+		select {
+		case idx <- i:
+		case <-runCtx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if stopProgress != nil {
+		stopProgress()
+	}
+
+	var joined []error
+	for _, e := range errs {
+		if e != nil {
+			joined = append(joined, e)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		joined = append(joined, err)
+	}
+	if len(joined) > 0 {
+		return results, errors.Join(joined...)
+	}
+	return results, nil
+}
+
+// attempt runs a job with panic recovery and one bounded retry: a
+// panicking job is re-run once, and a second panic (or any returned
+// error) fails the job.
+func attempt[T any](ctx context.Context, j Job[T]) (v T, attempts int, err error) {
+	const maxAttempts = 2
+	for attempts = 1; attempts <= maxAttempts; attempts++ {
+		v, err = runOnce(ctx, j)
+		if err == nil {
+			return v, attempts, nil
+		}
+		var p *PanicError
+		if !errors.As(err, &p) || attempts == maxAttempts {
+			return v, attempts, err
+		}
+	}
+	return v, maxAttempts, err
+}
+
+func runOnce[T any](ctx context.Context, j Job[T]) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v, err = zero, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return j.Run(ctx)
+}

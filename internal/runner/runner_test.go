@@ -1,0 +1,404 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// intJob returns a job computing v, counting invocations in calls.
+func intJob(name string, v int, calls *atomic.Int32) Job[int] {
+	return Job[int]{
+		Name: name,
+		Run: func(context.Context) (int, error) {
+			if calls != nil {
+				calls.Add(1)
+			}
+			return v, nil
+		},
+	}
+}
+
+func TestRunAligned(t *testing.T) {
+	var jobs []Job[int]
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, intJob(fmt.Sprintf("j%d", i), i*i, nil))
+	}
+	for _, workers := range []int{1, 4, 0} {
+		got, err := Run(context.Background(), jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestCancellationMidRunDrainsAndFlushes(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := Open(filepath.Join(dir, "ck.jsonl"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls [5]atomic.Int32
+	jobs := make([]Job[int], 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("j%d", i),
+			Key:  fmt.Sprintf("k%d", i),
+			Run: func(context.Context) (int, error) {
+				calls[i].Add(1)
+				if i == 2 {
+					cancel() // user hits Ctrl-C while j2 is in flight
+				}
+				return 10 * i, nil
+			},
+		}
+	}
+	got, err := Run(ctx, jobs, Options{Workers: 1, Checkpoint: cp})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The in-flight job (j2) drained: its result is present and flushed.
+	for i := 0; i <= 2; i++ {
+		if got[i] != 10*i {
+			t.Fatalf("completed job j%d lost: got %d", i, got[i])
+		}
+		if _, ok := cp.Lookup(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("job j%d not checkpointed", i)
+		}
+	}
+	// Undispatched jobs never ran and were not recorded.
+	for i := 3; i < 5; i++ {
+		if n := calls[i].Load(); n != 0 {
+			t.Fatalf("job j%d ran %d times after cancellation", i, n)
+		}
+		if _, ok := cp.Lookup(fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("unrun job j%d checkpointed", i)
+		}
+	}
+}
+
+func TestPanicConvertedToError(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job[int]{{
+		Name: "boom",
+		Run: func(context.Context) (int, error) {
+			calls.Add(1)
+			panic("kaboom")
+		},
+	}}
+	_, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("panicking job returned no error")
+	}
+	if !strings.Contains(err.Error(), `job "boom"`) || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("error does not name job and panic: %v", err)
+	}
+	var p *PanicError
+	if !errors.As(err, &p) {
+		t.Fatalf("error does not unwrap to *PanicError: %v", err)
+	}
+	if len(p.Stack) == 0 {
+		t.Fatal("panic error lost its stack")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("panicking job attempted %d times, want 2 (one bounded retry)", n)
+	}
+}
+
+func TestRetryOnceAfterPanic(t *testing.T) {
+	var calls atomic.Int32
+	var gotEvent Event
+	jobs := []Job[int]{{
+		Name: "flaky",
+		Run: func(context.Context) (int, error) {
+			if calls.Add(1) == 1 {
+				panic("transient")
+			}
+			return 42, nil
+		},
+	}}
+	got, err := Run(context.Background(), jobs, Options{
+		Workers: 1,
+		Hook:    func(e Event) { gotEvent = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("retried job result = %d, want 42", got[0])
+	}
+	if calls.Load() != 2 || gotEvent.Attempts != 2 {
+		t.Fatalf("calls=%d attempts=%d, want 2/2", calls.Load(), gotEvent.Attempts)
+	}
+}
+
+func TestErrorsNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job[int]{{
+		Name: "bad",
+		Run: func(context.Context) (int, error) {
+			calls.Add(1)
+			return 0, errors.New("deterministic config error")
+		},
+	}}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 1}); err == nil {
+		t.Fatal("erroring job returned no error")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("plain error retried: %d attempts", n)
+	}
+}
+
+func TestFailFastJoinsErrors(t *testing.T) {
+	var after atomic.Int32
+	jobs := []Job[int]{
+		intJob("ok0", 1, nil),
+		{Name: "bad1", Run: func(context.Context) (int, error) { return 0, errors.New("first failure") }},
+		intJob("never2", 2, &after),
+		intJob("never3", 3, &after),
+	}
+	_, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("no error returned")
+	}
+	if !strings.Contains(err.Error(), `job "bad1"`) {
+		t.Fatalf("joined error does not name the failed job: %v", err)
+	}
+	if n := after.Load(); n != 0 {
+		t.Fatalf("%d jobs dispatched after the first failure", n)
+	}
+}
+
+func TestConcurrentFailuresAllNamed(t *testing.T) {
+	// Two workers, two failing jobs dispatched together: both must be
+	// named in the joined error.
+	var gate sync.WaitGroup
+	gate.Add(2)
+	fail := func(name string) Job[int] {
+		return Job[int]{Name: name, Run: func(context.Context) (int, error) {
+			gate.Done()
+			gate.Wait() // both in flight before either settles
+			return 0, errors.New("boom")
+		}}
+	}
+	_, err := Run(context.Background(), []Job[int]{fail("badA"), fail("badB")}, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("no error returned")
+	}
+	for _, name := range []string{"badA", "badB"} {
+		if !strings.Contains(err.Error(), fmt.Sprintf("job %q", name)) {
+			t.Fatalf("joined error missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestCheckpointResumeSkipsCompleted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+
+	cp, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job[int], 6)
+	for i := range jobs {
+		jobs[i] = intJob(fmt.Sprintf("j%d", i), 7*i, nil)
+		jobs[i].Key = fmt.Sprintf("j%d#abc", i)
+	}
+	first, err := Run(context.Background(), jobs, Options{Workers: 2, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen for resume; every job must be satisfied without running.
+	cp2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != len(jobs) {
+		t.Fatalf("resume loaded %d entries, want %d", cp2.Len(), len(jobs))
+	}
+	var ran atomic.Int32
+	var resumedEvents atomic.Int32
+	for i := range jobs {
+		jobs[i].Run = func(context.Context) (int, error) {
+			ran.Add(1)
+			return -1, nil
+		}
+	}
+	second, err := Run(context.Background(), jobs, Options{
+		Workers:    2,
+		Checkpoint: cp2,
+		Hook: func(e Event) {
+			if e.Resumed {
+				resumedEvents.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d completed jobs re-ran on resume", n)
+	}
+	if n := resumedEvents.Load(); int(n) != len(jobs) {
+		t.Fatalf("%d resumed hook events, want %d", n, len(jobs))
+	}
+	for i := range jobs {
+		if second[i] != first[i] {
+			t.Fatalf("resumed result[%d] = %d, want %d", i, second[i], first[i])
+		}
+	}
+}
+
+func TestCheckpointKeyMismatchRecomputes(t *testing.T) {
+	// A key records the config hash: a job whose key differs (changed
+	// config) must be recomputed, not satisfied by the stale entry.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	cp, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Record("sim/a#oldcfg", 1); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	cp2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	var ran atomic.Int32
+	jobs := []Job[int]{{
+		Name: "sim/a",
+		Key:  "sim/a#newcfg",
+		Run: func(context.Context) (int, error) {
+			ran.Add(1)
+			return 2, nil
+		},
+	}}
+	got, err := Run(context.Background(), jobs, Options{Workers: 1, Checkpoint: cp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 || got[0] != 2 {
+		t.Fatalf("stale checkpoint entry satisfied a changed config (ran=%d, got=%d)", ran.Load(), got[0])
+	}
+}
+
+func TestCheckpointToleratesTornTailLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	cp, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Record("good", 5); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	// Simulate an interrupt mid-write: a torn, unterminated tail line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cp2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != 1 {
+		t.Fatalf("loaded %d entries, want 1 (torn line skipped)", cp2.Len())
+	}
+	if _, ok := cp2.Lookup("good"); !ok {
+		t.Fatal("intact entry lost")
+	}
+}
+
+func TestKeyOfChangesWithConfig(t *testing.T) {
+	type cfg struct{ Threads, Quanta int }
+	a := KeyOf("sim/mix/i0", cfg{8, 64})
+	b := KeyOf("sim/mix/i0", cfg{8, 32})
+	if a == b {
+		t.Fatal("config change did not change the key")
+	}
+	if !strings.HasPrefix(a, "sim/mix/i0#") {
+		t.Fatalf("key %q does not embed the job name", a)
+	}
+	if a != KeyOf("sim/mix/i0", cfg{8, 64}) {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	var jobs []Job[int]
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, intJob(fmt.Sprintf("j%d", i), i, nil))
+	}
+	_, err := Run(context.Background(), jobs, Options{
+		Workers:          2,
+		Progress:         w,
+		ProgressInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "8/8 jobs settled") {
+		t.Fatalf("missing final summary line:\n%s", out)
+	}
+}
+
+func TestProgressLineFormat(t *testing.T) {
+	line := progressLine(50, 200, 10, 20*time.Second)
+	for _, want := range []string{"50/200", "25.0%", "2.0 jobs/s", "ETA 1m15s"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line %q missing %q", line, want)
+		}
+	}
+	// No fresh completions yet: rate unknown, ETA unknown, no panic.
+	if line := progressLine(10, 200, 10, time.Second); !strings.Contains(line, "ETA ?") {
+		t.Fatalf("resumed-only progress line %q should have unknown ETA", line)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -23,6 +23,9 @@ type Chart struct {
 
 var chartRunes = []rune{'o', '*', '+', 'x', '#', '@', '%', '&'}
 
+// isFinite reports whether v is a plottable sample.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // String renders the chart.
 func (c *Chart) String() string {
 	if len(c.Series) == 0 {
@@ -46,9 +49,17 @@ func (c *Chart) String() string {
 			n = len(s)
 		}
 		for _, v := range s {
+			// A single NaN would poison both bounds (and ±Inf one of
+			// them), rendering every finite point off-grid.
+			if !isFinite(v) {
+				continue
+			}
 			lo = math.Min(lo, v)
 			hi = math.Max(hi, v)
 		}
+	}
+	if lo > hi { // no finite samples at all
+		lo, hi = 0, 1
 	}
 	if c.YMinSet {
 		lo = c.YMin
@@ -82,6 +93,9 @@ func (c *Chart) String() string {
 	for si, name := range names {
 		mark := chartRunes[si%len(chartRunes)]
 		for i, v := range c.Series[name] {
+			if !isFinite(v) {
+				continue
+			}
 			col := i*colWidth + colWidth/2
 			row := rowOf(v)
 			if grid[row][col] == ' ' {
@@ -107,8 +121,10 @@ func (c *Chart) String() string {
 		if i < len(c.XTicks) {
 			tick = c.XTicks[i]
 		}
-		if len(tick) > colWidth-1 {
-			tick = tick[:colWidth-1]
+		// Truncate by rune: byte slicing could split a multi-byte
+		// label (e.g. "µop/c") into invalid UTF-8.
+		if r := []rune(tick); len(r) > colWidth-1 {
+			tick = string(r[:colWidth-1])
 		}
 		b.WriteString(fmt.Sprintf("%-*s", colWidth, tick))
 	}

@@ -5,14 +5,14 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 // Job is one simulation to run.
@@ -21,46 +21,39 @@ type Job struct {
 	Config core.Config
 }
 
+// RunnerJobs converts simulation jobs into runner jobs: each builds a
+// simulator and runs it, keyed by job name + config hash so checkpoint
+// resume only ever satisfies identical work.
+func RunnerJobs(jobs []Job) []runner.Job[core.Result] {
+	rjobs := make([]runner.Job[core.Result], len(jobs))
+	for i, j := range jobs {
+		j := j
+		rjobs[i] = runner.Job[core.Result]{
+			Name: j.Name,
+			Key:  runner.KeyOf(j.Name, j.Config),
+			Run: func(context.Context) (core.Result, error) {
+				sim, err := core.NewSimulator(j.Config)
+				if err != nil {
+					return core.Result{}, err
+				}
+				return sim.Run(), nil
+			},
+		}
+	}
+	return rjobs
+}
+
 // RunAll executes the jobs on a bounded worker pool and returns results
 // index-aligned with jobs. Each simulation is single-threaded and
 // deterministic; parallelism across jobs is safe because simulators
 // share no mutable state. workers <= 0 selects GOMAXPROCS.
+//
+// RunAll is a compatibility shim over runner.Run: it fails fast on the
+// first job error, stops dispatching, and returns a joined error naming
+// every job that failed. Cancellation, checkpointing, and progress live
+// in internal/runner (see experiments.Options).
 func RunAll(jobs []Job, workers int) ([]core.Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	results := make([]core.Result, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				sim, err := core.NewSimulator(jobs[i].Config)
-				if err != nil {
-					errs[i] = fmt.Errorf("job %q: %w", jobs[i].Name, err)
-					continue
-				}
-				results[i] = sim.Run()
-			}
-		}()
-	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return runner.Run(context.Background(), RunnerJobs(jobs), runner.Options{Workers: workers})
 }
 
 // Mean returns the arithmetic mean; 0 for an empty slice.

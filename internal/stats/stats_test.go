@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 
 	"repro/internal/core"
 )
@@ -144,6 +145,34 @@ func TestRunAllPropagatesErrors(t *testing.T) {
 	}
 }
 
+// Regression: RunAll used to dispatch every remaining job after a
+// failure and keep only the first error. It must fail fast and name
+// each job that failed in a joined error.
+func TestRunAllFailsFastWithJoinedError(t *testing.T) {
+	good := core.DefaultConfig("int-compute")
+	good.Quanta = 1
+	good.FastForward = 0
+	badA := core.DefaultConfig("no-such-mix-a")
+	jobs := []Job{
+		{Name: "ok", Config: good},
+		{Name: "badA", Config: badA},
+	}
+	// A second bad job behind the first: fail-fast means dispatch stops
+	// at badA, so badB never runs and must not appear in the error.
+	badB := core.DefaultConfig("no-such-mix-b")
+	jobs = append(jobs, Job{Name: "badB", Config: badB})
+	_, err := RunAll(jobs, 1)
+	if err == nil {
+		t.Fatal("no error returned")
+	}
+	if !strings.Contains(err.Error(), `job "badA"`) {
+		t.Fatalf("joined error does not name the failed job: %v", err)
+	}
+	if strings.Contains(err.Error(), `job "badB"`) {
+		t.Fatalf("jobs kept dispatching after the first failure: %v", err)
+	}
+}
+
 func TestChartRendering(t *testing.T) {
 	c := &Chart{
 		Title:  "test chart",
@@ -169,5 +198,60 @@ func TestChartRendering(t *testing.T) {
 	empty := (&Chart{}).String()
 	if !strings.Contains(empty, "empty") {
 		t.Fatal("empty chart not handled")
+	}
+}
+
+// Regression: a single NaN sample used to poison the lo/hi scan
+// (NaN min/max propagates), pushing every finite point off-grid and
+// rendering a blank chart. Non-finite values must be skipped.
+func TestChartSkipsNonFiniteValues(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"1", "2", "3", "4"},
+		Series: map[string][]float64{
+			"a": {1, math.NaN(), 3, math.Inf(1)},
+			"b": {2, 2, 2, 2},
+		},
+		Height: 6,
+	}
+	out := c.String()
+	marks := strings.Count(out, "o") + strings.Count(out, "*") + strings.Count(out, "!")
+	// 2 finite points of a + 4 of b, minus possible overlaps; the
+	// legend contributes one "o=a" and one "*=b".
+	if marks < 2+4 {
+		t.Fatalf("finite points missing from grid (%d marks):\n%s", marks, out)
+	}
+	// Axis labels must be finite numbers, not NaN.
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("non-finite axis labels:\n%s", out)
+	}
+
+	// All-NaN series must still render without a degenerate scale.
+	allNaN := &Chart{
+		XTicks: []string{"1"},
+		Series: map[string][]float64{"a": {math.NaN()}},
+		Height: 4,
+	}
+	if out := allNaN.String(); strings.Contains(out, "NaN") {
+		t.Fatalf("all-NaN chart rendered NaN labels:\n%s", out)
+	}
+}
+
+// Regression: tick truncation used byte slicing, which can split a
+// multi-byte rune and emit invalid UTF-8.
+func TestChartTickTruncationIsRuneSafe(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"µµµµµµµµ", "αβγδεζηθ"},
+		Series: map[string][]float64{"a": {1, 2}},
+		Height: 4,
+	}
+	out := c.String()
+	if !utf8.ValidString(out) {
+		t.Fatalf("chart output is not valid UTF-8:\n%q", out)
+	}
+	if !strings.Contains(out, "µµµµµ") {
+		t.Fatalf("truncated tick lost its runes:\n%s", out)
+	}
+	if strings.Contains(out, "�") || strings.Contains(out, "µµµµµµ") {
+		t.Fatalf("tick truncation wrong:\n%s", out)
 	}
 }
