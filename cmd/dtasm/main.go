@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/detector"
@@ -22,43 +23,63 @@ import (
 )
 
 func main() {
-	var (
-		dump      = flag.String("dump", "", "print a built-in kernel: type1 | type3")
-		check     = flag.String("check", "", "assemble a kernel file and report statistics")
-		run       = flag.String("run", "", "assemble and dry-run a kernel file against the -ipc/-l1miss/... snapshot")
-		m         = flag.Float64("m", 2, "IPC threshold baked into dumped kernels")
-		clogLimit = flag.Int("cloglimit", 24, "clogging pre-issue limit baked into the type3 kernel")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		ipc       = flag.Float64("ipc", 1.0, "dry-run: quantum IPC")
-		l1miss    = flag.Float64("l1miss", 0, "dry-run: L1 misses/cycle")
-		lsqfull   = flag.Float64("lsqfull", 0, "dry-run: LSQ-full events/cycle")
-		mispred   = flag.Float64("mispred", 0, "dry-run: mispredicts/cycle")
-		condbr    = flag.Float64("condbr", 0, "dry-run: conditional branches/cycle")
-		previpc   = flag.Float64("previpc", 0, "dry-run: previous quantum IPC")
-		incumbent = flag.String("incumbent", "ICOUNT", "dry-run: engaged policy")
+// run is main with its streams and exit code injectable for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dtasm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dump      = fs.String("dump", "", "print a built-in kernel: type1 | type3")
+		check     = fs.String("check", "", "assemble a kernel file and report statistics")
+		runF      = fs.String("run", "", "assemble and dry-run a kernel file against the -ipc/-l1miss/... snapshot")
+		m         = fs.Float64("m", 2, "IPC threshold baked into dumped kernels")
+		clogLimit = fs.Int("cloglimit", 24, "clogging pre-issue limit baked into the type3 kernel")
+
+		ipc       = fs.Float64("ipc", 1.0, "dry-run: quantum IPC")
+		l1miss    = fs.Float64("l1miss", 0, "dry-run: L1 misses/cycle")
+		lsqfull   = fs.Float64("lsqfull", 0, "dry-run: LSQ-full events/cycle")
+		mispred   = fs.Float64("mispred", 0, "dry-run: mispredicts/cycle")
+		condbr    = fs.Float64("condbr", 0, "dry-run: conditional branches/cycle")
+		previpc   = fs.Float64("previpc", 0, "dry-run: previous quantum IPC")
+		incumbent = fs.String("incumbent", "ICOUNT", "dry-run: engaged policy")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "dtasm: "+format+"\n", a...)
+		return 1
+	}
 
 	switch {
 	case *dump != "":
 		switch *dump {
 		case "type1":
-			fmt.Print(dtvm.Type1Source(*m))
+			fmt.Fprint(stdout, dtvm.Type1Source(*m))
 		case "type3":
 			cfg := detector.DefaultConfig(8)
 			cfg.IPCThreshold = *m
-			fmt.Print(dtvm.Type3Source(cfg, *clogLimit))
+			fmt.Fprint(stdout, dtvm.Type3Source(cfg, *clogLimit))
 		default:
-			fatalf("unknown built-in kernel %q (type1 | type3)", *dump)
+			return fail("unknown built-in kernel %q (type1 | type3)", *dump)
 		}
 	case *check != "":
-		prog := mustAssemble(*check)
-		fmt.Printf("%s: OK — %d instructions, %d labels\n", *check, len(prog.Insts), countLabels(prog))
-	case *run != "":
-		prog := mustAssemble(*run)
+		prog, err := assembleFile(*check)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stdout, "%s: OK — %d instructions, %d labels\n", *check, len(prog.Insts), countLabels(prog))
+	case *runF != "":
+		prog, err := assembleFile(*runF)
+		if err != nil {
+			return fail("%v", err)
+		}
 		inc, err := policy.Parse(*incumbent)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		q := detector.QuantumStats{
 			Cycles:      8192,
@@ -71,38 +92,35 @@ func main() {
 		}
 		out, err := prog.Exec(q, inc, *previpc)
 		if err != nil {
-			fatalf("execution failed: %v", err)
+			return fail("execution failed: %v", err)
 		}
-		fmt.Printf("executed %d VM instructions\n", out.Steps)
+		fmt.Fprintf(stdout, "executed %d VM instructions\n", out.Steps)
 		switch {
 		case out.Switch:
-			fmt.Printf("decision: switch %v -> %v\n", inc, out.NewPolicy)
+			fmt.Fprintf(stdout, "decision: switch %v -> %v\n", inc, out.NewPolicy)
 		case out.Keep:
-			fmt.Printf("decision: keep %v\n", inc)
+			fmt.Fprintf(stdout, "decision: keep %v\n", inc)
 		default:
-			fmt.Println("decision: none (kernel halted without setpol/keep)")
+			fmt.Fprintln(stdout, "decision: none (kernel halted without setpol/keep)")
 		}
 		for tid, clog := range out.Clogging {
 			if clog {
-				fmt.Printf("clogging: thread %d\n", tid)
+				fmt.Fprintf(stdout, "clogging: thread %d\n", tid)
 			}
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func mustAssemble(path string) *dtvm.Program {
+func assembleFile(path string) (*dtvm.Program, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("%v", err)
+		return nil, err
 	}
-	prog, err := dtvm.Assemble(string(src))
-	if err != nil {
-		fatalf("%v", err)
-	}
-	return prog
+	return dtvm.Assemble(string(src))
 }
 
 func countLabels(p *dtvm.Program) int {
@@ -113,9 +131,4 @@ func countLabels(p *dtvm.Program) int {
 		}
 	}
 	return n
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "dtasm: "+format+"\n", args...)
-	os.Exit(1)
 }

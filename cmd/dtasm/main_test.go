@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDumpAssembleRoundTrip: the dumped built-in kernels must assemble,
+// and -check must report the encoded instruction count — the smoke path
+// of dtasm -dump | dtasm -check.
+func TestDumpAssembleRoundTrip(t *testing.T) {
+	for _, kernel := range []string{"type1", "type3"} {
+		var out, errb strings.Builder
+		if code := run([]string{"-dump", kernel}, &out, &errb); code != 0 {
+			t.Fatalf("-dump %s: exit %d, stderr %s", kernel, code, errb.String())
+		}
+		src := out.String()
+		if src == "" {
+			t.Fatalf("-dump %s produced no source", kernel)
+		}
+
+		path := filepath.Join(t.TempDir(), kernel+".dt")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out.Reset()
+		if code := run([]string{"-check", path}, &out, &errb); code != 0 {
+			t.Fatalf("-check %s: exit %d, stderr %s", kernel, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "OK — ") || !strings.Contains(out.String(), "instructions") {
+			t.Fatalf("-check output unexpected: %s", out.String())
+		}
+	}
+}
+
+// TestDumpIsStable: -dump is deterministic, so kernels can be diffed and
+// committed.
+func TestDumpIsStable(t *testing.T) {
+	var a, b strings.Builder
+	run([]string{"-dump", "type1", "-m", "2.5"}, &a, &b)
+	var c strings.Builder
+	run([]string{"-dump", "type1", "-m", "2.5"}, &c, &b)
+	if a.String() != c.String() {
+		t.Fatal("-dump type1 output is not stable across invocations")
+	}
+	if !strings.Contains(a.String(), "2500") { // 2.5 in the VM's fixed-point
+		t.Fatalf("-m 2.5 not baked into the kernel:\n%s", a.String())
+	}
+}
+
+// TestDryRunDecision: a dumped type1 kernel dry-run against a low-IPC
+// snapshot must reach a decision.
+func TestDryRunDecision(t *testing.T) {
+	var out, errb strings.Builder
+	run([]string{"-dump", "type1"}, &out, &errb)
+	path := filepath.Join(t.TempDir(), "k.dt")
+	if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-run", path, "-ipc", "0.5", "-l1miss", "0.4"}, &out, &errb); code != 0 {
+		t.Fatalf("-run: exit %d, stderr %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "decision: ") {
+		t.Fatalf("dry run reached no decision:\n%s", out.String())
+	}
+}
+
+// TestErrorsExitNonzero covers the failure paths.
+func TestErrorsExitNonzero(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.dt")
+	if err := os.WriteFile(bad, []byte("@@ not a kernel"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-dump", "type9"},
+		{"-check", "/no/such/file.dt"},
+		{"-check", bad},
+		{},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("args %v: exit 0, want nonzero", args)
+		}
+	}
+}

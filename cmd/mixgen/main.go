@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/branch"
@@ -22,32 +23,41 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code injectable for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mixgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list     = flag.Bool("list", false, "list workload mixes")
-		profiles = flag.Bool("profiles", false, "list application profiles")
-		sample   = flag.String("sample", "", "sample a profile's stream and report measured characteristics")
-		n        = flag.Int("n", 400000, "instructions to sample")
-		seed     = flag.Uint64("seed", 1, "seed")
+		list     = fs.Bool("list", false, "list workload mixes")
+		profiles = fs.Bool("profiles", false, "list application profiles")
+		sample   = fs.String("sample", "", "sample a profile's stream and report measured characteristics")
+		n        = fs.Int("n", 400000, "instructions to sample")
+		seed     = fs.Uint64("seed", 1, "seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	switch {
 	case *list:
-		fmt.Println("workload mixes (8 applications each):")
+		fmt.Fprintln(stdout, "workload mixes (8 applications each):")
 		for _, m := range trace.Mixes() {
 			kind := "diverse"
 			if m.Homogeneous {
 				kind = "homogeneous"
 			}
-			fmt.Printf("  %-14s %-11s %s\n", m.Name, kind, m.Description)
-			fmt.Printf("  %14s apps: %v\n", "", m.Apps)
+			fmt.Fprintf(stdout, "  %-14s %-11s %s\n", m.Name, kind, m.Description)
+			fmt.Fprintf(stdout, "  %14s apps: %v\n", "", m.Apps)
 		}
 	case *profiles:
-		fmt.Println("application profiles (modelled on SPEC CPU2000 behaviour classes):")
+		fmt.Fprintln(stdout, "application profiles (modelled on SPEC CPU2000 behaviour classes):")
 		for _, p := range trace.Profiles() {
-			fmt.Printf("  %-8s [%s] %s\n", p.Name, p.Class, p.Description)
+			fmt.Fprintf(stdout, "  %-8s [%s] %s\n", p.Name, p.Class, p.Description)
 			for _, ph := range p.Phases {
-				fmt.Printf("  %8s   phase %-10s ~%d insts: br=%.0f%% ld=%.0f%% st=%.0f%% data=%dKB code=%d words\n",
+				fmt.Fprintf(stdout, "  %8s   phase %-10s ~%d insts: br=%.0f%% ld=%.0f%% st=%.0f%% data=%dKB code=%d words\n",
 					"", ph.Name, ph.MeanLen, 100*ph.BranchFrac, 100*ph.LoadFrac, 100*ph.StoreFrac,
 					ph.DataFootprint>>10, ph.CodeWords)
 			}
@@ -55,19 +65,20 @@ func main() {
 	case *sample != "":
 		prof, ok := trace.ProfileByName(*sample)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mixgen: unknown profile %q\n", *sample)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "mixgen: unknown profile %q\n", *sample)
+			return 1
 		}
-		sampleProfile(prof, *n, *seed)
+		sampleProfile(stdout, prof, *n, *seed)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
 // sampleProfile reports a profile's measured stream characteristics
 // plus its intrinsic mispredict rate under a standalone predictor.
-func sampleProfile(prof *trace.Profile, n int, seed uint64) {
+func sampleProfile(w io.Writer, prof *trace.Profile, n int, seed uint64) {
 	st := trace.Sample(prof, n, seed)
 
 	// Mispredict rate needs the predictor loop (Sample is predictor-free).
@@ -99,18 +110,18 @@ func sampleProfile(prof *trace.Profile, n int, seed uint64) {
 		}
 	}
 
-	fmt.Printf("profile %s (%s): %d instructions sampled\n", prof.Name, prof.Class, n)
-	fmt.Println("dynamic instruction mix:")
+	fmt.Fprintf(w, "profile %s (%s): %d instructions sampled\n", prof.Name, prof.Class, n)
+	fmt.Fprintln(w, "dynamic instruction mix:")
 	for c := isa.Class(0); c < isa.NumClasses; c++ {
 		if st.ClassCounts[c] > 0 {
-			fmt.Printf("  %-8v %6.2f%%\n", c, 100*st.ClassFrac(c))
+			fmt.Fprintf(w, "  %-8v %6.2f%%\n", c, 100*st.ClassFrac(c))
 		}
 	}
 	if st.Branches > 0 {
-		fmt.Printf("branches: %.2f%% of stream, %.0f%% taken, %.1f%% mispredicted (standalone hybrid predictor)\n",
+		fmt.Fprintf(w, "branches: %.2f%% of stream, %.0f%% taken, %.1f%% mispredicted (standalone hybrid predictor)\n",
 			100*st.ClassFrac(isa.Branch), 100*st.TakenFrac(),
 			100*float64(misp)/float64(st.Branches))
 	}
-	fmt.Printf("data blocks touched: %d (~%d KB); %d static PCs; %d phase changes\n",
+	fmt.Fprintf(w, "data blocks touched: %d (~%d KB); %d static PCs; %d phase changes\n",
 		st.BlocksTouched, st.WorkingSetBytes()>>10, st.StaticPCs, st.PhaseChanges)
 }

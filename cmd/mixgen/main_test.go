@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestListStableAndComplete: -list output is deterministic, non-empty,
+// and names every mix in the catalogue.
+func TestListStableAndComplete(t *testing.T) {
+	var a, errb strings.Builder
+	if code := run([]string{"-list"}, &a, &errb); code != 0 {
+		t.Fatalf("-list: exit %d, stderr %s", code, errb.String())
+	}
+	if a.Len() == 0 {
+		t.Fatal("-list produced no output")
+	}
+	for _, m := range trace.Mixes() {
+		if !strings.Contains(a.String(), m.Name) {
+			t.Errorf("-list missing mix %q", m.Name)
+		}
+	}
+	var b strings.Builder
+	run([]string{"-list"}, &b, &errb)
+	if a.String() != b.String() {
+		t.Fatal("-list output is not stable across invocations")
+	}
+}
+
+func TestProfilesListsCatalogue(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-profiles"}, &out, &errb); code != 0 {
+		t.Fatalf("-profiles: exit %d, stderr %s", code, errb.String())
+	}
+	for _, p := range trace.Profiles() {
+		if !strings.Contains(out.String(), p.Name) {
+			t.Errorf("-profiles missing profile %q", p.Name)
+		}
+	}
+}
+
+func TestSampleReportsCharacteristics(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-sample", "gzip", "-n", "20000"}, &out, &errb); code != 0 {
+		t.Fatalf("-sample: exit %d, stderr %s", code, errb.String())
+	}
+	for _, want := range []string{"profile gzip", "dynamic instruction mix:", "data blocks touched:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-sample output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestErrorsExitNonzero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sample", "no-such-profile"},
+		{},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("args %v: exit 0, want nonzero", args)
+		}
+	}
+}

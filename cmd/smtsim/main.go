@@ -8,20 +8,20 @@
 //	smtsim -mix kitchen-sink -mode fixed -policy ICOUNT
 //	smtsim -mix int-memory -mode adts -heuristic "Type 3" -m 2
 //	smtsim -mix fp-stream -mode oracle -quanta 32
+//
+// Request assembly, execution, and report rendering live in
+// internal/simrun, shared with the smtsimd HTTP service so the two can
+// never drift.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/core"
-	"repro/internal/detector"
-	"repro/internal/dtvm"
 	"repro/internal/pipeline"
-	"repro/internal/policy"
-	"repro/internal/trace"
+	"repro/internal/simrun"
 )
 
 func main() {
@@ -43,98 +43,48 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := core.DefaultConfig(*mix)
+	req := simrun.Request{
+		Mix:         *mix,
+		Mode:        *mode,
+		Policy:      *polName,
+		Heuristic:   *heuristic,
+		M:           *m,
+		Threads:     *threads,
+		Quanta:      *quanta,
+		FastForward: *ff,
+		Seed:        *seed,
+	}
+	if *ff == 0 {
+		req.FastForward = -1 // Request treats 0 as "default"; -1 means none
+	}
+	if *kernelF != "" {
+		src, err := os.ReadFile(*kernelF)
+		if err != nil {
+			fatal(err)
+		}
+		req.Kernel = string(src)
+	}
 	if *machineF != "" {
 		mc, err := pipeline.LoadConfig(*machineF)
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Machine = mc
-	}
-	cfg.Threads = *threads
-	cfg.Quanta = *quanta
-	cfg.FastForward = *ff
-	cfg.Seed = *seed
-
-	switch *mode {
-	case "fixed":
-		cfg.Mode = core.ModeFixed
-		p, err := policy.Parse(*polName)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.FixedPolicy = p
-	case "adts":
-		cfg.Mode = core.ModeADTS
-		h, err := detector.ParseHeuristic(*heuristic)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Detector.Heuristic = h
-		cfg.Detector.IPCThreshold = *m
-		if *kernelF != "" {
-			src, err := os.ReadFile(*kernelF)
-			if err != nil {
-				fatal(err)
-			}
-			prog, err := dtvm.Assemble(string(src))
-			if err != nil {
-				fatal(err)
-			}
-			cfg.Kernel = prog
-		}
-	case "oracle":
-		cfg.Mode = core.ModeOracle
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		req.Machine = &mc
 	}
 
-	sim, err := core.NewSimulator(cfg)
+	cfg, err := req.Config()
 	if err != nil {
 		fatal(err)
 	}
-	res := sim.Run()
-
-	mx, _ := trace.MixByName(*mix)
-	fmt.Printf("mix %s (%s), %d threads, %s mode\n", mx.Name, mx.Description, res.Threads, res.Mode)
-	fmt.Printf("cycles %d, committed %d, aggregate IPC %.3f\n", res.Cycles, res.Committed, res.AggregateIPC)
-	fmt.Printf("rates/cycle: mispred %.4f, L1 miss %.4f, LSQ-full %.4f, cond-br %.4f; wrong-path fetch %.1f%%\n",
-		res.MispredRate, res.L1MissRate, res.LSQFullRate, res.CondBrRate, 100*res.WrongPathFrac)
-
-	if cfg.Mode == core.ModeADTS {
-		d := res.Detector
-		fmt.Printf("detector: %v m=%g — %d low quanta, %d switches (benign %d / malignant %d, P=%.2f)\n",
-			res.Heuristic, res.Threshold, d.LowQuanta, d.Switches, d.Benign, d.Malignant, d.BenignProbability())
-		fmt.Printf("DT cost model: %d jobs, %d completed, %d preempted, %d fetch slots, %d issue slots\n",
-			res.DT.JobsScheduled, res.DT.JobsCompleted, res.DT.JobsPreempted,
-			res.DT.FetchSlotsUsed, res.DT.IssueSlotsUsed)
-		if res.KernelSteps > 0 {
-			fmt.Printf("detector kernel: %d VM instructions executed\n", res.KernelSteps)
-		}
-	}
-	if cfg.Mode == core.ModeOracle {
-		fmt.Printf("oracle: %d policy switches\n", res.OracleSwitches)
+	res, err := simrun.Run(context.Background(), cfg)
+	if err != nil {
+		fatal(err)
 	}
 
-	if *verbose {
-		progs, _ := mx.Programs(*threads, *seed)
-		for i, ipc := range res.PerThreadIPC {
-			fmt.Printf("  thread %d (%s): IPC %.3f\n", i, progs[i].Profile().Name, ipc)
-		}
-	}
-	if *timeline {
-		fmt.Println("quantum timeline (policy engaged at quantum end, quantum IPC):")
-		for i, p := range res.PolicyTimeline {
-			fmt.Printf("  q%03d %-12s %.3f\n", i, p, res.QuantumIPC[i])
-		}
-	}
+	fmt.Print(simrun.Report(cfg, res, simrun.ReportOptions{Verbose: *verbose, Timeline: *timeline}))
+
 	if *csvPath != "" {
-		var b strings.Builder
-		b.WriteString("quantum,policy,ipc\n")
-		for i, p := range res.PolicyTimeline {
-			fmt.Fprintf(&b, "%d,%s,%.6f\n", i, p, res.QuantumIPC[i])
-		}
-		if err := os.WriteFile(*csvPath, []byte(b.String()), 0o644); err != nil {
+		if err := os.WriteFile(*csvPath, []byte(simrun.CSV(res)), 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d quanta to %s\n", len(res.PolicyTimeline), *csvPath)

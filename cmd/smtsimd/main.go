@@ -1,0 +1,93 @@
+// Command smtsimd serves SMT simulations over HTTP: the same knobs as
+// cmd/smtsim, behind a deduplicating result cache and admission control
+// (see internal/simserver and docs/simserver.md).
+//
+// Usage:
+//
+//	smtsimd -addr :8080 -workers 4 -queue 16 -cache 256
+//
+//	curl -s localhost:8080/v1/mixes
+//	curl -s -X POST localhost:8080/v1/run \
+//	    -d '{"mix":"int-memory","mode":"adts","heuristic":"Type 3","m":2}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, active
+// requests and in-flight simulations drain (bounded by -drain), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/simserver"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 16, "admission queue depth beyond running simulations (-1 = none)")
+		cache   = flag.Int("cache", 256, "result cache entries (LRU)")
+		timeout = flag.Duration("timeout", 120*time.Second, "per-simulation timeout")
+		retry   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	qd := *queue
+	if qd == 0 {
+		qd = -1 // flag 0 means "no queue"; Config 0 means "default"
+	}
+	srv := simserver.New(simserver.Config{
+		Workers:      *workers,
+		QueueDepth:   qd,
+		CacheEntries: *cache,
+		RunTimeout:   *timeout,
+		RetryAfter:   *retry,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "smtsimd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "smtsimd: shutting down, draining in-flight runs")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "smtsimd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "smtsimd: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "smtsimd: drained, bye")
+}
+
+func fatal(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "smtsimd:", err)
+		os.Exit(1)
+	}
+}

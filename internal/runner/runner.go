@@ -84,17 +84,29 @@ type PanicError struct {
 
 func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
 
-// KeyOf derives a checkpoint key from a job name and its config: the
-// name plus a short SHA-256 of the config's JSON encoding, so a stale
-// checkpoint written under different experimental conditions never
-// satisfies a job.
-func KeyOf(name string, config any) string {
+// ConfigHash is the canonical identity of a configuration: a short
+// SHA-256 of its JSON encoding. Simulations are deterministic functions
+// of their config, so equal hashes mean byte-identical results — the
+// checkpoint store and the simserver result cache both key on it.
+// Unmarshalable configs hash to "" (callers treat that as uncacheable).
+func ConfigHash(config any) string {
 	raw, err := json.Marshal(config)
 	if err != nil {
-		return name
+		return ""
 	}
 	sum := sha256.Sum256(raw)
-	return name + "#" + hex.EncodeToString(sum[:8])
+	return hex.EncodeToString(sum[:8])
+}
+
+// KeyOf derives a checkpoint key from a job name and its config: the
+// name plus the config's ConfigHash, so a stale checkpoint written
+// under different experimental conditions never satisfies a job.
+func KeyOf(name string, config any) string {
+	h := ConfigHash(config)
+	if h == "" {
+		return name
+	}
+	return name + "#" + h
 }
 
 // Run executes the jobs and returns results index-aligned with them.

@@ -1,0 +1,229 @@
+// Package simrun is the single place where user-facing simulation
+// requests (the knobs of cmd/smtsim and the JSON body of smtsimd's
+// POST /v1/run) become a core.Config, a run, and a rendered report.
+// Both front ends consume it, so the CLI and the HTTP service can never
+// drift: the same Request produces the same core.Config, the same
+// deterministic core.Result, and a byte-identical text report.
+package simrun
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dtvm"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/trace"
+)
+
+// Request is one simulation ask, in user vocabulary (names, not parsed
+// types). Zero-valued fields take the smtsim defaults — see Normalize.
+type Request struct {
+	// Mix names a workload from trace.Mixes (mixgen -list).
+	Mix string `json:"mix"`
+	// Mode is "fixed", "adts", or "oracle".
+	Mode string `json:"mode"`
+	// Policy is the fetch policy for fixed mode (e.g. "ICOUNT").
+	Policy string `json:"policy,omitempty"`
+	// Heuristic is the ADTS heuristic ("Type 1".."Type 4", "Type 3'").
+	Heuristic string `json:"heuristic,omitempty"`
+	// M is the ADTS IPC threshold.
+	M float64 `json:"m,omitempty"`
+	// Kernel is DT kernel source (internal/dtvm assembly) that replaces
+	// the built-in heuristic in ADTS mode.
+	Kernel string `json:"kernel,omitempty"`
+	// Threads is the number of hardware contexts (1..8).
+	Threads int `json:"threads,omitempty"`
+	// Quanta is the number of measured scheduling quanta.
+	Quanta int `json:"quanta,omitempty"`
+	// FastForward is cycles to simulate before measuring. 0 selects the
+	// default (16384); use -1 to request no fast-forward.
+	FastForward int64 `json:"fastforward,omitempty"`
+	// Seed drives all stochastic workload behaviour.
+	Seed uint64 `json:"seed,omitempty"`
+	// Machine overrides the default machine configuration (the CLI's
+	// -machine file, inline).
+	Machine *pipeline.Config `json:"machine,omitempty"`
+}
+
+// Normalize fills zero-valued fields with the smtsim defaults and
+// returns the completed request. It does not validate; Config does.
+func (r Request) Normalize() Request {
+	if r.Mix == "" {
+		r.Mix = "kitchen-sink"
+	}
+	if r.Mode == "" {
+		r.Mode = "fixed"
+	}
+	if r.Policy == "" {
+		r.Policy = "ICOUNT"
+	}
+	if r.Heuristic == "" {
+		r.Heuristic = "Type 3"
+	}
+	if r.M == 0 {
+		r.M = 2
+	}
+	if r.Threads == 0 {
+		r.Threads = 8
+	}
+	if r.Quanta == 0 {
+		r.Quanta = 64
+	}
+	switch {
+	case r.FastForward == 0:
+		r.FastForward = 16384
+	case r.FastForward < 0:
+		r.FastForward = 0
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return r
+}
+
+// Config normalizes the request and assembles the core.Config both
+// front ends run. Unknown names (mix, mode, policy, heuristic) and
+// malformed kernels come back as errors, not panics.
+func (r Request) Config() (core.Config, error) {
+	r = r.Normalize()
+
+	cfg := core.DefaultConfig(r.Mix)
+	if r.Machine != nil {
+		cfg.Machine = *r.Machine
+	}
+	cfg.Threads = r.Threads
+	cfg.Quanta = r.Quanta
+	cfg.FastForward = r.FastForward
+	cfg.Seed = r.Seed
+
+	switch strings.ToLower(r.Mode) {
+	case "fixed":
+		cfg.Mode = core.ModeFixed
+		p, err := policy.Parse(r.Policy)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.FixedPolicy = p
+	case "adts":
+		cfg.Mode = core.ModeADTS
+		h, err := detector.ParseHeuristic(r.Heuristic)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Detector.Heuristic = h
+		cfg.Detector.IPCThreshold = r.M
+		if r.Kernel != "" {
+			prog, err := dtvm.Assemble(r.Kernel)
+			if err != nil {
+				return core.Config{}, fmt.Errorf("kernel: %w", err)
+			}
+			cfg.Kernel = prog
+		}
+	case "oracle":
+		cfg.Mode = core.ModeOracle
+	default:
+		return core.Config{}, fmt.Errorf("unknown mode %q", r.Mode)
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Key is the canonical cache/checkpoint identity of a config: equal
+// keys guarantee byte-identical results because simulations are
+// deterministic functions of their config.
+func Key(cfg core.Config) string {
+	return runner.ConfigHash(cfg)
+}
+
+// Run executes one simulation. The context is consulted before the run
+// starts and polled while it executes: a cancelled context abandons the
+// simulation and returns ctx.Err(). Results are deterministic — equal
+// configs always produce equal results.
+func Run(ctx context.Context, cfg core.Config) (core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	done := make(chan core.Result, 1)
+	go func() { done <- sim.Run() }()
+	select {
+	case res := <-done:
+		return res, nil
+	case <-ctx.Done():
+		// The simulator has no preemption point; the goroutine finishes
+		// its (bounded) run and the buffered channel lets it exit.
+		return core.Result{}, ctx.Err()
+	}
+}
+
+// ReportOptions selects the optional report sections.
+type ReportOptions struct {
+	// Verbose appends per-thread IPC lines.
+	Verbose bool
+	// Timeline appends the per-quantum policy/IPC timeline.
+	Timeline bool
+}
+
+// Report renders the human-readable run summary — exactly the text
+// cmd/smtsim has always printed, so server responses and CLI output are
+// byte-identical for the same config.
+func Report(cfg core.Config, res core.Result, o ReportOptions) string {
+	var b strings.Builder
+	mx, _ := trace.MixByName(res.Mix)
+	fmt.Fprintf(&b, "mix %s (%s), %d threads, %s mode\n", mx.Name, mx.Description, res.Threads, res.Mode)
+	fmt.Fprintf(&b, "cycles %d, committed %d, aggregate IPC %.3f\n", res.Cycles, res.Committed, res.AggregateIPC)
+	fmt.Fprintf(&b, "rates/cycle: mispred %.4f, L1 miss %.4f, LSQ-full %.4f, cond-br %.4f; wrong-path fetch %.1f%%\n",
+		res.MispredRate, res.L1MissRate, res.LSQFullRate, res.CondBrRate, 100*res.WrongPathFrac)
+
+	if cfg.Mode == core.ModeADTS {
+		d := res.Detector
+		fmt.Fprintf(&b, "detector: %v m=%g — %d low quanta, %d switches (benign %d / malignant %d, P=%.2f)\n",
+			res.Heuristic, res.Threshold, d.LowQuanta, d.Switches, d.Benign, d.Malignant, d.BenignProbability())
+		fmt.Fprintf(&b, "DT cost model: %d jobs, %d completed, %d preempted, %d fetch slots, %d issue slots\n",
+			res.DT.JobsScheduled, res.DT.JobsCompleted, res.DT.JobsPreempted,
+			res.DT.FetchSlotsUsed, res.DT.IssueSlotsUsed)
+		if res.KernelSteps > 0 {
+			fmt.Fprintf(&b, "detector kernel: %d VM instructions executed\n", res.KernelSteps)
+		}
+	}
+	if cfg.Mode == core.ModeOracle {
+		fmt.Fprintf(&b, "oracle: %d policy switches\n", res.OracleSwitches)
+	}
+
+	if o.Verbose {
+		progs, _ := mx.Programs(res.Threads, res.Seed)
+		for i, ipc := range res.PerThreadIPC {
+			if i < len(progs) {
+				fmt.Fprintf(&b, "  thread %d (%s): IPC %.3f\n", i, progs[i].Profile().Name, ipc)
+			}
+		}
+	}
+	if o.Timeline {
+		b.WriteString("quantum timeline (policy engaged at quantum end, quantum IPC):\n")
+		for i, p := range res.PolicyTimeline {
+			fmt.Fprintf(&b, "  q%03d %-12s %.3f\n", i, p, res.QuantumIPC[i])
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the per-quantum series (quantum, policy, IPC) exactly as
+// cmd/smtsim -csv writes it.
+func CSV(res core.Result) string {
+	var b strings.Builder
+	b.WriteString("quantum,policy,ipc\n")
+	for i, p := range res.PolicyTimeline {
+		fmt.Fprintf(&b, "%d,%s,%.6f\n", i, p, res.QuantumIPC[i])
+	}
+	return b.String()
+}

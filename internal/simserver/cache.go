@@ -1,0 +1,66 @@
+package simserver
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a fixed-capacity least-recently-used cache mapping config
+// hashes to finished run responses. Simulations are deterministic, so a
+// cached entry is exact — there is no TTL and no invalidation, only
+// capacity eviction.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *runResponse
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached response and promotes the entry.
+func (c *lru) get(key string) (*runResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes an entry, evicting the least recently used
+// entry when over capacity.
+func (c *lru) add(key string, val *runResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,109 @@
+package simserver
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	a, b, d := &runResponse{Key: "a"}, &runResponse{Key: "b"}, &runResponse{Key: "d"}
+	c.add("a", a)
+	c.add("b", b)
+	if _, ok := c.get("a"); !ok { // promote a; b is now oldest
+		t.Fatal("a missing")
+	}
+	c.add("d", d)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", &runResponse{Report: "v1"})
+	c.add("a", &runResponse{Report: "v2"})
+	if got := c.len(); got != 1 {
+		t.Fatalf("len = %d, want 1", got)
+	}
+	v, _ := c.get("a")
+	if v.Report != "v2" {
+		t.Fatalf("Report = %q, want v2", v.Report)
+	}
+}
+
+// TestLRUConcurrent hammers the cache from many goroutines; the -race
+// build is the real assertion.
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%16)
+				c.add(k, &runResponse{Key: k})
+				c.get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 8 {
+		t.Fatalf("len = %d exceeds capacity 8", c.len())
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	f1, lead1 := g.join("k")
+	if !lead1 {
+		t.Fatal("first join should lead")
+	}
+	f2, lead2 := g.join("k")
+	if lead2 || f1 != f2 {
+		t.Fatal("second join should coalesce onto the open flight")
+	}
+	g.finish("k", f1, &runResponse{Key: "k"}, nil)
+	<-f2.done
+	if f2.val == nil || f2.val.Key != "k" {
+		t.Fatal("follower did not observe the leader's result")
+	}
+	// After finish, the key starts a fresh flight.
+	_, lead3 := g.join("k")
+	if !lead3 {
+		t.Fatal("join after finish should start a new flight")
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	var m metrics
+	m.requests.Add(3)
+	m.cacheHits.Add(2)
+	m.observeRunSeconds(0.004) // first bucket
+	m.observeRunSeconds(99)    // +Inf bucket
+	var b strings.Builder
+	m.writePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE smtsimd_requests_total counter",
+		"smtsimd_requests_total 3",
+		"smtsimd_cache_hits_total 2",
+		"# TYPE smtsimd_run_seconds histogram",
+		`smtsimd_run_seconds_bucket{le="0.005"} 1`,
+		`smtsimd_run_seconds_bucket{le="+Inf"} 2`,
+		"smtsimd_run_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package simserver
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the run-latency
+// histogram, chosen for simulation runs that take milliseconds to tens
+// of seconds.
+var latencyBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// metrics is the server's instrumentation: lock-free counters plus a
+// cumulative latency histogram, rendered as Prometheus text exposition
+// format (version 0.0.4) with no external dependencies.
+type metrics struct {
+	requests    atomic.Int64 // POST /v1/run requests received
+	badRequests atomic.Int64 // malformed / invalid config
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64 // requests satisfied by another's flight
+	rejected    atomic.Int64 // 429: admission queue full
+	canceled    atomic.Int64 // client gone / per-request timeout
+	runs        atomic.Int64 // simulations actually executed
+	runErrors   atomic.Int64
+
+	queueDepth atomic.Int64 // admitted but not yet running
+	inFlight   atomic.Int64 // simulations running now
+
+	latCount   atomic.Int64
+	latSumUs   atomic.Int64 // microseconds, to keep the sum integral
+	latBuckets [14]atomic.Int64
+}
+
+// observeRunSeconds records one completed simulation's latency.
+func (m *metrics) observeRunSeconds(s float64) {
+	m.latCount.Add(1)
+	m.latSumUs.Add(int64(math.Round(s * 1e6)))
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			m.latBuckets[i].Add(1)
+			return
+		}
+	}
+	m.latBuckets[len(latencyBuckets)].Add(1) // +Inf
+}
+
+// writePrometheus renders every metric in Prometheus text format.
+func (m *metrics) writePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("smtsimd_requests_total", "POST /v1/run requests received.", m.requests.Load())
+	counter("smtsimd_bad_requests_total", "Requests rejected as malformed or invalid.", m.badRequests.Load())
+	counter("smtsimd_cache_hits_total", "Run requests served from the result cache.", m.cacheHits.Load())
+	counter("smtsimd_cache_misses_total", "Run requests not found in the result cache.", m.cacheMisses.Load())
+	counter("smtsimd_singleflight_coalesced_total", "Run requests coalesced onto another request's simulation.", m.coalesced.Load())
+	counter("smtsimd_rejected_total", "Run requests rejected with 429 (admission queue full).", m.rejected.Load())
+	counter("smtsimd_canceled_total", "Run requests abandoned by client disconnect or timeout.", m.canceled.Load())
+	counter("smtsimd_simulations_total", "Simulations actually executed.", m.runs.Load())
+	counter("smtsimd_simulation_errors_total", "Simulations that returned an error.", m.runErrors.Load())
+	gauge("smtsimd_queue_depth", "Run requests admitted and waiting for a worker.", m.queueDepth.Load())
+	gauge("smtsimd_inflight", "Simulations running now.", m.inFlight.Load())
+
+	const h = "smtsimd_run_seconds"
+	fmt.Fprintf(w, "# HELP %s Simulation run latency.\n# TYPE %s histogram\n", h, h)
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latBuckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h, trimFloat(ub), cum)
+	}
+	cum += m.latBuckets[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h, float64(m.latSumUs.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", h, m.latCount.Load())
+}
+
+// trimFloat formats a bucket bound without trailing zeros ("0.5", "1").
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,326 @@
+// Package simserver is the HTTP simulation service behind cmd/smtsimd:
+// a JSON API over internal/simrun with three production mechanisms
+// layered on top of the deterministic simulator —
+//
+//  1. Result cache: an LRU keyed by the canonical config hash
+//     (internal/runner.ConfigHash). Simulations are deterministic, so
+//     cached results are exact, with no TTL and no invalidation.
+//  2. Singleflight: N concurrent identical requests trigger exactly one
+//     simulation; the rest coalesce onto its result.
+//  3. Admission control: a bounded queue in front of a bounded worker
+//     pool. Overflow is rejected immediately with 429 + Retry-After;
+//     admitted work gets a per-run timeout; Shutdown drains in-flight
+//     simulations before tearing the server down.
+//
+// Endpoints: POST /v1/run, GET /v1/mixes, GET /healthz, GET /metrics
+// (Prometheus text format, no external dependencies).
+package simserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simrun"
+	"repro/internal/trace"
+)
+
+// RunFunc executes one simulation. Tests inject synthetic runners; the
+// default is simrun.Run.
+type RunFunc func(ctx context.Context, cfg core.Config) (core.Result, error)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// Workers bounds concurrent simulations; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds flights admitted beyond the running ones; 0
+	// selects 16, negative selects no queue (reject unless a worker
+	// slot is free or soon will be).
+	QueueDepth int
+	// CacheEntries bounds the result LRU; <= 0 selects 256.
+	CacheEntries int
+	// RunTimeout bounds one simulation; <= 0 selects 120s.
+	RunTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses; <= 0 selects 1s.
+	RetryAfter time.Duration
+	// Run replaces the simulation executor (tests); nil selects
+	// simrun.Run.
+	Run RunFunc
+}
+
+// Server is one simulation service instance. Create with New, expose
+// Handler over any http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *lru
+	flights *flightGroup
+	metrics metrics
+
+	admit chan struct{} // admitted flights: waiting + running
+	sem   chan struct{} // running flights
+
+	baseCtx context.Context // governs simulations; outlives requests
+	stop    context.CancelFunc
+	wg      sync.WaitGroup // one per executing flight
+}
+
+var (
+	errOverloaded   = errors.New("simserver: admission queue full")
+	errShuttingDown = errors.New("simserver: shutting down")
+)
+
+// New builds a server with defaults applied.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 16
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.RunTimeout <= 0 {
+		cfg.RunTimeout = 120 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Run == nil {
+		cfg.Run = simrun.Run
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newLRU(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		admit:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		sem:     make(chan struct{}, cfg.Workers),
+		baseCtx: ctx,
+		stop:    cancel,
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/mixes", s.handleMixes)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains: it waits for every executing flight to settle, then
+// stops the simulation context. Call it after http.Server.Shutdown has
+// stopped new requests. If ctx expires first, remaining simulations are
+// cancelled and ctx.Err() returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.stop()
+		return nil
+	case <-ctx.Done():
+		s.stop()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// runResponse is the cacheable part of a POST /v1/run response: it is
+// identical no matter which request produced it.
+type runResponse struct {
+	// Key is the canonical config hash the result is cached under.
+	Key string `json:"key"`
+	// Request echoes the normalized request that produced the result.
+	Request simrun.Request `json:"request"`
+	// Result is the full structured simulation result.
+	Result core.Result `json:"result"`
+	// Report is the human-readable summary, byte-identical to what
+	// `smtsim` prints for the same configuration.
+	Report string `json:"report"`
+}
+
+// runReply wraps a runResponse with per-request delivery facts.
+type runReply struct {
+	*runResponse
+	// Cached reports a result served from the LRU without simulating.
+	Cached bool `json:"cached"`
+	// Coalesced reports a result served by joining another request's
+	// in-progress simulation.
+	Coalesced bool `json:"coalesced"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+
+	var req simrun.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := simrun.Key(cfg)
+
+	if resp, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, runReply{runResponse: resp, Cached: true})
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	f, leader := s.flights.join(key)
+	if leader {
+		s.wg.Add(1)
+		go s.execute(key, f, req.Normalize(), cfg)
+	} else {
+		s.metrics.coalesced.Add(1)
+	}
+
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// Client gone; the flight continues for other waiters and for
+		// the cache. Nothing useful can be written.
+		s.metrics.canceled.Add(1)
+		return
+	}
+	if f.err != nil {
+		s.replyError(w, f.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runReply{runResponse: f.val, Coalesced: !leader})
+}
+
+// execute is the singleflight leader's path: admission, worker slot,
+// timed run, cache fill, publish. It runs detached from any one request
+// so a disconnecting client never kills a flight other clients (or the
+// cache) are waiting on.
+func (s *Server) execute(key string, f *flight, req simrun.Request, cfg core.Config) {
+	defer s.wg.Done()
+
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.flights.finish(key, f, nil, errOverloaded)
+		return
+	}
+	defer func() { <-s.admit }()
+
+	s.metrics.queueDepth.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.baseCtx.Done():
+		s.metrics.queueDepth.Add(-1)
+		s.flights.finish(key, f, nil, errShuttingDown)
+		return
+	}
+	s.metrics.queueDepth.Add(-1)
+	defer func() { <-s.sem }()
+
+	s.metrics.inFlight.Add(1)
+	runCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
+	start := time.Now()
+	res, err := s.cfg.Run(runCtx, cfg)
+	elapsed := time.Since(start)
+	cancel()
+	s.metrics.inFlight.Add(-1)
+	s.metrics.runs.Add(1)
+
+	if err != nil {
+		s.metrics.runErrors.Add(1)
+		s.flights.finish(key, f, nil, err)
+		return
+	}
+	s.metrics.observeRunSeconds(elapsed.Seconds())
+	resp := &runResponse{
+		Key:     key,
+		Request: req,
+		Result:  res,
+		Report:  simrun.Report(cfg, res, simrun.ReportOptions{}),
+	}
+	s.cache.add(key, resp)
+	s.flights.finish(key, f, resp, nil)
+}
+
+// replyError maps a flight failure to an HTTP status.
+func (s *Server) replyError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	case errors.Is(err, errShuttingDown), errors.Is(err, context.Canceled):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "simulation exceeded the run timeout")
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// mixInfo is one entry of GET /v1/mixes.
+type mixInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Apps        []string `json:"apps"`
+	Homogeneous bool     `json:"homogeneous"`
+}
+
+func (s *Server) handleMixes(w http.ResponseWriter, _ *http.Request) {
+	mixes := trace.Mixes()
+	out := make([]mixInfo, len(mixes))
+	for i, m := range mixes {
+		out[i] = mixInfo{Name: m.Name, Description: m.Description, Apps: m.Apps, Homogeneous: m.Homogeneous}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.baseCtx.Err() != nil {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w)
+	fmt.Fprintf(w, "# HELP smtsimd_cache_entries Result cache entries resident.\n# TYPE smtsimd_cache_entries gauge\nsmtsimd_cache_entries %d\n", s.cache.len())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -10,6 +10,49 @@ import (
 	"repro/internal/core"
 )
 
+// TestEmptyAndDegenerateInputs locks in the contract that every summary
+// statistic returns 0 — never NaN, never a panic — on empty, nil, and
+// degenerate inputs.
+func TestEmptyAndDegenerateInputs(t *testing.T) {
+	funcs := []struct {
+		name string
+		f    func([]float64) float64
+	}{
+		{"Mean", Mean},
+		{"GeoMean", GeoMean},
+		{"Stddev", Stddev},
+		{"Median", Median},
+	}
+	cases := []struct {
+		name string
+		in   []float64
+		want map[string]float64 // expected per function
+	}{
+		{"nil", nil,
+			map[string]float64{"Mean": 0, "GeoMean": 0, "Stddev": 0, "Median": 0}},
+		{"empty", []float64{},
+			map[string]float64{"Mean": 0, "GeoMean": 0, "Stddev": 0, "Median": 0}},
+		{"singleton", []float64{3},
+			map[string]float64{"Mean": 3, "GeoMean": 3, "Stddev": 0, "Median": 3}},
+		{"zeros", []float64{0, 0},
+			map[string]float64{"Mean": 0, "GeoMean": 0, "Stddev": 0, "Median": 0}},
+		{"negative", []float64{-1, 1},
+			map[string]float64{"Mean": 0, "GeoMean": 0, "Stddev": math.Sqrt2, "Median": 0}},
+	}
+	for _, tc := range cases {
+		for _, fn := range funcs {
+			got := fn.f(tc.in)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("%s(%s) = %v, want finite", fn.name, tc.name, got)
+				continue
+			}
+			if want := tc.want[fn.name]; math.Abs(got-want) > 1e-12 {
+				t.Errorf("%s(%s) = %v, want %v", fn.name, tc.name, got, want)
+			}
+		}
+	}
+}
+
 func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Fatal("Mean(nil) != 0")
