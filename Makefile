@@ -7,11 +7,11 @@ GO ?= go
 all: build vet test
 
 # PR gate: vet + full build + race-checked tests for the concurrent
-# runner, the simulation service, and their callers.
+# runner, the simulation service, the fleet client, and their callers.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/runner ./internal/stats ./internal/simrun ./internal/simserver
+	$(GO) test -race ./internal/runner ./internal/stats ./internal/simrun ./internal/simserver ./internal/fleet
 
 build:
 	$(GO) build ./...

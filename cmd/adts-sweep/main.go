@@ -17,6 +17,12 @@
 //	adts-sweep -fig8 -checkpoint sweep.jsonl     # interruptible
 //	adts-sweep -fig8 -resume sweep.jsonl         # continue after Ctrl-C
 //	adts-sweep -table1 -json > table1.json       # machine-readable
+//	adts-sweep -all -backends sim1:8080,sim2:8080,sim3:8080   # distributed
+//
+// With -backends, each simulation is dispatched to a pool of smtsimd
+// servers (least-loaded, with health probing, retries, and circuit
+// breakers — see docs/fleet.md); results are byte-identical to a local
+// run, and -checkpoint/-resume work unchanged.
 package main
 
 import (
@@ -30,8 +36,10 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/buildinfo"
 	"repro/internal/detector"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -58,8 +66,18 @@ func main() {
 		checkpointF = flag.String("checkpoint", "", "record completed runs to this JSONL file (overwrites)")
 		resumeF     = flag.String("resume", "", "resume from (and keep appending to) this checkpoint file")
 		jsonF       = flag.Bool("json", false, "emit machine-readable JSON results to stdout instead of tables")
+
+		backendsF     = flag.String("backends", "", "comma-separated smtsimd backends (host:port or URL) to shard runs across")
+		hedgeF        = flag.Bool("hedge", false, "with -backends: hedge slow requests to a second backend")
+		maxRetriesF   = flag.Int("max-retries", 3, "with -backends: re-dispatches per run after a failure (-1 disables)")
+		fleetMetricsF = flag.Bool("fleet-metrics", false, "with -backends: print fleet client metrics to stderr on exit")
+		versionF      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *versionF {
+		fmt.Println(buildinfo.String("adts-sweep"))
+		return
+	}
 
 	o := experiments.DefaultOptions()
 	o.Quanta = *quanta
@@ -94,10 +112,36 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer cp.Close()
+		if n := cp.Skipped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d unreadable checkpoint line(s) in %s dropped (torn tail from an interrupt); those runs will be recomputed\n", n, ckPath)
+		}
 		if ckResume && cp.Len() > 0 {
 			fmt.Fprintf(os.Stderr, "resuming: %d runs already checkpointed in %s\n", cp.Len(), ckPath)
 		}
 		o.Checkpoint = cp
+	}
+
+	// -backends shards runs across a pool of smtsimd servers. Results
+	// are byte-identical to local execution, so checkpoints written
+	// locally resume remotely and vice versa.
+	if *backendsF != "" {
+		fc, err := fleet.New(fleet.Config{
+			Backends:   splitMixes(*backendsF), // same comma-list parsing
+			MaxRetries: *maxRetriesF,
+			Hedge:      *hedgeF,
+			Log:        os.Stderr,
+		})
+		if err != nil {
+			fatalf("fleet: %v", err)
+		}
+		defer fc.Close()
+		o.Executor = fc.Executor()
+		fmt.Fprintf(os.Stderr, "dispatching runs across %d backend(s)\n", fc.Backends())
+		if *fleetMetricsF {
+			defer fc.WriteMetrics(os.Stderr)
+		}
+	} else if *hedgeF || *fleetMetricsF {
+		fatalf("-hedge and -fleet-metrics require -backends")
 	}
 
 	// Ctrl-C / SIGTERM cancels the sweep context: in-flight runs drain

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/detector"
 	"repro/internal/dtvm"
 	"repro/internal/policy"
@@ -44,9 +45,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		condbr    = fs.Float64("condbr", 0, "dry-run: conditional branches/cycle")
 		previpc   = fs.Float64("previpc", 0, "dry-run: previous quantum IPC")
 		incumbent = fs.String("incumbent", "ICOUNT", "dry-run: engaged policy")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("dtasm"))
+		return 0
 	}
 
 	fail := func(format string, a ...any) int {

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/branch"
+	"repro/internal/buildinfo"
 	"repro/internal/isa"
 	"repro/internal/trace"
 )
@@ -36,9 +37,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sample   = fs.String("sample", "", "sample a profile's stream and report measured characteristics")
 		n        = fs.Int("n", 400000, "instructions to sample")
 		seed     = fs.Uint64("seed", 1, "seed")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("mixgen"))
+		return 0
 	}
 
 	switch {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/pipeline"
 	"repro/internal/simrun"
 )
@@ -40,8 +41,13 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print the per-quantum policy/IPC timeline")
 		csvPath   = flag.String("csv", "", "write the per-quantum series (quantum, policy, IPC) as CSV to this file")
 		verbose   = flag.Bool("v", false, "print per-thread detail")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("smtsim"))
+		return
+	}
 
 	req := simrun.Request{
 		Mix:         *mix,

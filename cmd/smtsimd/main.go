@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/simserver"
 )
 
@@ -39,8 +40,13 @@ func main() {
 		timeout = flag.Duration("timeout", 120*time.Second, "per-simulation timeout")
 		retry   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("smtsimd"))
+		return
+	}
 
 	qd := *queue
 	if qd == 0 {

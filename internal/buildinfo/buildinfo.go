@@ -1,0 +1,61 @@
+// Package buildinfo derives the binary's version from the build
+// metadata the Go toolchain embeds (debug.ReadBuildInfo): the module
+// version when built from a tagged module, plus the VCS revision and
+// dirty marker when built from a checkout. Every command exposes it via
+// -version, and smtsimd reports it from /healthz so fleet health probes
+// can detect version skew across a backend pool.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// read is swapped out by tests.
+var read = debug.ReadBuildInfo
+
+// Version returns the best available version string: the module
+// version when the toolchain resolved one (a tag or pseudo-version,
+// which already encodes the revision), otherwise "devel" with "+<rev>"
+// (12 hex digits) and "+dirty" appended from the VCS stamps. A binary
+// with no build info reports "devel".
+func Version() string {
+	bi, ok := read()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	v := "devel"
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		v += "+" + rev
+	}
+	if dirty {
+		v += "+dirty"
+	}
+	return v
+}
+
+// String renders the conventional one-line -version output for a
+// command, e.g. "smtsimd devel+1a2b3c4d5e6f (go1.22.0)".
+func String(cmd string) string {
+	goVersion := "unknown"
+	if bi, ok := read(); ok {
+		goVersion = bi.GoVersion
+	}
+	return fmt.Sprintf("%s %s (%s)", cmd, Version(), goVersion)
+}

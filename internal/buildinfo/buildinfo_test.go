@@ -1,0 +1,73 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// stub installs a fake build-info reader for the duration of the test.
+func stub(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestVersionNoBuildInfo(t *testing.T) {
+	stub(t, nil, false)
+	if got := Version(); got != "devel" {
+		t.Fatalf("Version() = %q, want devel", got)
+	}
+}
+
+func TestVersionFromVCSStamps(t *testing.T) {
+	stub(t, &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	if got, want := Version(), "devel+0123456789ab+dirty"; got != want {
+		t.Fatalf("Version() = %q, want %q", got, want)
+	}
+	s := String("smtsimd")
+	if !strings.HasPrefix(s, "smtsimd devel+0123456789ab+dirty") || !strings.Contains(s, "go1.22.0") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestVersionTaggedModule(t *testing.T) {
+	stub(t, &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Version: "v1.4.0"},
+	}, true)
+	if got := Version(); got != "v1.4.0" {
+		t.Fatalf("Version() = %q, want v1.4.0", got)
+	}
+}
+
+func TestVersionPseudoVersionNotDoubleStamped(t *testing.T) {
+	// A pseudo-version already encodes the revision; the VCS stamps
+	// must not be appended on top of it.
+	stub(t, &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Version: "v0.0.0-20260805215642-b2cfff4f2fa3+dirty"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "b2cfff4f2fa3deadbeef"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	if got, want := Version(), "v0.0.0-20260805215642-b2cfff4f2fa3+dirty"; got != want {
+		t.Fatalf("Version() = %q, want %q", got, want)
+	}
+}
+
+// The real reader must never panic and always yield something usable.
+func TestVersionReal(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() empty under the real build info")
+	}
+}

@@ -59,6 +59,12 @@ type Options struct {
 	// RunHook, when non-nil, is called after every job settles
 	// (completed, resumed from checkpoint, or failed).
 	RunHook func(runner.Event) `json:"-"`
+	// Executor, when non-nil, evaluates each job instead of running the
+	// simulation in-process — internal/fleet plugs in here to shard a
+	// sweep across remote smtsimd backends. Executors are deterministic
+	// (equal configs, equal results), so checkpoint/resume, progress,
+	// and index-aligned output behave identically local or remote.
+	Executor runner.Executor[core.Result] `json:"-"`
 }
 
 // DefaultOptions returns the configuration used for the recorded
@@ -132,14 +138,15 @@ func (o Options) OracleConfig(mix string, interval int) core.Config {
 }
 
 // runAll executes the jobs through the resilient runner with the
-// options' worker bound, checkpoint, progress writer, and hook.
+// options' worker bound, checkpoint, progress writer, hook, and
+// executor (nil = local simulation).
 func (o Options) runAll(ctx context.Context, jobs []stats.Job) ([]core.Result, error) {
-	return runner.Run(ctx, stats.RunnerJobs(jobs), runner.Options{
+	return runner.RunWith(ctx, stats.RunnerJobs(jobs), runner.Options{
 		Workers:    o.Workers,
 		Checkpoint: o.Checkpoint,
 		Progress:   o.Progress,
 		Hook:       o.RunHook,
-	})
+	}, o.Executor)
 }
 
 // meanByMix averages per-interval results grouped by mix name and

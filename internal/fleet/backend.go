@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// backend is one smtsimd instance in the pool: its base URL plus the
+// client-side state the dispatcher needs — in-flight load for
+// least-loaded selection, a circuit breaker, health-probe status, and
+// per-backend counters for the metrics exposition.
+type backend struct {
+	url     string // normalized base URL, no trailing slash
+	breaker *breaker
+
+	inflight atomic.Int64 // requests being served now (load metric)
+	requests atomic.Int64 // dispatches, including hedges and retries
+	errors   atomic.Int64 // failed dispatches (transport, 5xx, timeout)
+	ratelim  atomic.Int64 // 429 responses
+
+	latMu    sync.Mutex
+	latSumUs int64 // microseconds of successful requests
+	latCount int64
+
+	probeMu sync.Mutex
+	down    bool   // last health probe failed (distinct from the breaker)
+	version string // backend-reported version from /healthz
+}
+
+// normalizeURL accepts "host:port" or a full URL and returns a base URL
+// without a trailing slash.
+func normalizeURL(s string) (string, error) {
+	s = strings.TrimRight(strings.TrimSpace(s), "/")
+	if s == "" {
+		return "", fmt.Errorf("fleet: empty backend address")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return s, nil
+}
+
+// observe records one successful request's latency.
+func (b *backend) observe(us int64) {
+	b.latMu.Lock()
+	b.latSumUs += us
+	b.latCount++
+	b.latMu.Unlock()
+}
+
+// latency returns the cumulative latency sum (seconds) and count.
+func (b *backend) latency() (sum float64, count int64) {
+	b.latMu.Lock()
+	defer b.latMu.Unlock()
+	return float64(b.latSumUs) / 1e6, b.latCount
+}
+
+// setProbe records a health-probe outcome.
+func (b *backend) setProbe(up bool, version string) {
+	b.probeMu.Lock()
+	b.down = !up
+	if version != "" {
+		b.version = version
+	}
+	b.probeMu.Unlock()
+}
+
+// probed returns the last probe outcome and reported version.
+func (b *backend) probed() (up bool, version string) {
+	b.probeMu.Lock()
+	defer b.probeMu.Unlock()
+	return !b.down, b.version
+}
+
+// available reports whether the dispatcher may route to this backend:
+// not marked down by the prober, and the breaker admits a request.
+// Calling this consumes the half-open trial slot when one is available,
+// so callers must follow through with a request (or report failure).
+func (b *backend) available() bool {
+	if up, _ := b.probed(); !up {
+		return false
+	}
+	return b.breaker.allow()
+}

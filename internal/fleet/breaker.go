@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; one trial request is
+	// allowed through to probe the backend.
+	BreakerHalfOpen
+	// BreakerOpen: consecutive failures exceeded the threshold; the
+	// backend is skipped until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// breaker is a per-backend circuit breaker: it opens after Threshold
+// consecutive failures, waits out Cooldown, then half-opens to let a
+// single trial request probe the backend. The trial's success closes
+// the circuit; its failure re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	failures int       // consecutive failures while closed
+	openedAt time.Time // zero while closed
+	probing  bool      // a half-open trial is in flight
+	opens    int64     // lifetime closed->open transitions (metrics)
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// state reports the breaker's current position.
+func (b *breaker) state() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+func (b *breaker) stateLocked() BreakerState {
+	if b.openedAt.IsZero() {
+		return BreakerClosed
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return BreakerOpen
+}
+
+// allow reports whether a request may be sent now. In the half-open
+// state only one caller wins the trial slot; the rest are refused until
+// the trial settles.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// success records a completed request: any state collapses to closed.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.openedAt = time.Time{}
+	b.probing = false
+}
+
+// failure records a failed request. While closed it counts toward the
+// threshold; a half-open trial failure re-opens immediately.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.openedAt.IsZero() {
+		// Open or half-open (failed trial): restart the cooldown.
+		b.openedAt = b.now()
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// openCount reports lifetime closed->open transitions.
+func (b *breaker) openCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,474 @@
+// Package fleet is the client-side distributed execution fabric that
+// lets one sweep fan out across many smtsimd backends: a backend
+// registry with periodic /healthz probing, least-loaded dispatch of
+// simulation configs to POST /v1/runcfg, a per-backend circuit breaker,
+// retries with exponential backoff + jitter that re-route to a healthy
+// backend, optional hedged requests to cut tail latency, and a
+// local-execution fallback when the pool is empty or fully broken.
+//
+// Simulations are deterministic functions of their config and the wire
+// format is the config itself (not a lossy re-encoding), so results are
+// byte-identical to a local run no matter which backend served each
+// job. The Executor adapter plugs the client into internal/runner, so
+// checkpoint/resume, SIGINT drain, and progress/ETA work identically
+// for remote sweeps.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Config tunes a fleet client. Zero values select the documented
+// defaults.
+type Config struct {
+	// Backends are smtsimd base addresses ("host:port" or full URLs).
+	// An empty pool makes every job fall back to local execution.
+	Backends []string
+	// MaxRetries bounds re-dispatches per job after the first attempt;
+	// < 0 disables retries, 0 selects 3. Retries prefer a different
+	// backend than the one that just failed.
+	MaxRetries int
+	// Hedge enables hedged requests: when the primary has not answered
+	// within HedgeDelay, the same config is sent to a second backend
+	// and the first response wins (the loser is cancelled).
+	Hedge bool
+	// HedgeDelay is the hedging trigger; <= 0 selects 250ms.
+	HedgeDelay time.Duration
+	// ProbeInterval is the /healthz probing period; 0 selects 5s,
+	// negative disables probing (backends are assumed up until
+	// requests fail).
+	ProbeInterval time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's circuit; <= 0 selects 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before
+	// half-opening for a trial request; <= 0 selects 5s.
+	BreakerCooldown time.Duration
+	// BackoffBase / BackoffMax bound the full-jitter retry backoff;
+	// <= 0 select 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RequestTimeout bounds one dispatch (queueing + simulation on the
+	// backend); <= 0 selects 5m.
+	RequestTimeout time.Duration
+	// ProbeTimeout bounds one health probe; <= 0 selects 2s.
+	ProbeTimeout time.Duration
+	// HTTPClient overrides the transport; nil selects a dedicated
+	// client (timeouts come from request contexts).
+	HTTPClient *http.Client
+	// Log receives operational warnings (backends going down or
+	// recovering, version skew across the pool); nil discards them.
+	Log io.Writer
+
+	// sleep and now are injectable for tests (in-package only).
+	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+}
+
+// ErrNoBackends reports that no backend could accept the job: the pool
+// is empty, every backend is down, or every circuit is open. Callers
+// (the Executor adapter, cmd/adts-sweep) fall back to local execution.
+var ErrNoBackends = errors.New("fleet: no healthy backend available")
+
+// Client dispatches simulation configs across a pool of smtsimd
+// backends. Create with New, stop the health prober with Close.
+type Client struct {
+	cfg      Config
+	http     *http.Client
+	backends []*backend
+	metrics  clientMetrics
+
+	stopProbe context.CancelFunc
+	probeDone chan struct{}
+
+	skewMu   sync.Mutex
+	lastSkew string // last logged version-skew fingerprint
+}
+
+// New builds a client, normalizes the backend addresses, and starts the
+// health prober (unless probing is disabled or the pool is empty).
+func New(cfg Config) (*Client, error) {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = 250 * time.Millisecond
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 5 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Minute
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = func(ctx context.Context, d time.Duration) error {
+			if d <= 0 {
+				return ctx.Err()
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+
+	c := &Client{cfg: cfg, http: cfg.HTTPClient}
+	if c.http == nil {
+		c.http = &http.Client{}
+	}
+	seen := make(map[string]bool)
+	for _, raw := range cfg.Backends {
+		u, err := normalizeURL(raw)
+		if err != nil {
+			return nil, err
+		}
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		c.backends = append(c.backends, &backend{
+			url:     u,
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		})
+	}
+
+	if len(c.backends) > 0 && cfg.ProbeInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		c.stopProbe = cancel
+		c.probeDone = make(chan struct{})
+		go c.probeLoop(ctx)
+	}
+	return c, nil
+}
+
+// Close stops the health prober. In-flight Run calls are unaffected.
+func (c *Client) Close() {
+	if c.stopProbe != nil {
+		c.stopProbe()
+		<-c.probeDone
+	}
+}
+
+// Backends reports the pool size.
+func (c *Client) Backends() int { return len(c.backends) }
+
+// Healthy reports how many backends are currently routable (probe up
+// and circuit not open).
+func (c *Client) Healthy() int {
+	n := 0
+	for _, b := range c.backends {
+		if up, _ := b.probed(); up && b.breaker.state() != BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// Run dispatches one simulation config to the pool and returns its
+// result. It retries with exponential backoff + jitter, re-routing to a
+// different backend after a failure and honouring Retry-After on 429.
+// When no backend can accept the job it returns ErrNoBackends (callers
+// fall back to local execution); when retries are exhausted it returns
+// the last dispatch error.
+func (c *Client) Run(ctx context.Context, simCfg core.Config) (core.Result, error) {
+	var zero core.Result
+	body, err := json.Marshal(simCfg)
+	if err != nil {
+		return zero, fmt.Errorf("fleet: encoding config: %w", err)
+	}
+	var lastErr error
+	var exclude *backend
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		b := c.pick(exclude)
+		if b == nil {
+			if lastErr != nil {
+				return zero, fmt.Errorf("%w (last dispatch error: %v)", ErrNoBackends, lastErr)
+			}
+			return zero, ErrNoBackends
+		}
+		if attempt > 0 {
+			c.metrics.retried.Add(1)
+		}
+		res, err := c.dispatch(ctx, b, body)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return zero, ctx.Err()
+		}
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries {
+			return zero, fmt.Errorf("fleet: %d dispatch attempt(s) exhausted: %w", attempt+1, lastErr)
+		}
+		exclude = b
+		delay := c.backoff(attempt)
+		var rl *rateLimitedError
+		if errors.As(err, &rl) && rl.after > 0 {
+			delay = rl.after
+		}
+		if err := c.cfg.sleep(ctx, delay); err != nil {
+			return zero, err
+		}
+	}
+}
+
+// backoff returns a full-jitter delay for the given attempt number:
+// uniform in (0, min(BackoffMax, BackoffBase<<attempt)].
+func (c *Client) backoff(attempt int) time.Duration {
+	ceil := c.cfg.BackoffBase << uint(attempt)
+	if ceil > c.cfg.BackoffMax || ceil <= 0 {
+		ceil = c.cfg.BackoffMax
+	}
+	return time.Duration(rand.Int64N(int64(ceil))) + 1
+}
+
+// pick selects the least-loaded routable backend, preferring any
+// backend other than exclude (the one that just failed). Ties break by
+// URL so selection is deterministic under equal load. The half-open
+// trial slot is only consumed for the backend actually returned.
+func (c *Client) pick(exclude *backend) *backend {
+	type cand struct {
+		b    *backend
+		load int64
+	}
+	var cands []cand
+	for _, b := range c.backends {
+		if b == exclude {
+			continue
+		}
+		if up, _ := b.probed(); !up {
+			continue
+		}
+		if b.breaker.state() == BreakerOpen {
+			continue
+		}
+		cands = append(cands, cand{b, b.inflight.Load()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].b.url < cands[j].b.url
+	})
+	for _, cd := range cands {
+		if cd.b.breaker.allow() {
+			return cd.b
+		}
+	}
+	// Last resort: a pool of one (or all alternatives broken) may retry
+	// the backend that just failed.
+	if exclude != nil {
+		if up, _ := exclude.probed(); up && exclude.breaker.allow() {
+			return exclude
+		}
+	}
+	return nil
+}
+
+// dispatch sends one config to backend b, optionally racing a hedged
+// copy on a second backend. Exactly one result is returned per call;
+// the losing request is cancelled.
+func (c *Client) dispatch(ctx context.Context, b *backend, body []byte) (core.Result, error) {
+	c.metrics.dispatched.Add(1)
+	if !c.cfg.Hedge || len(c.backends) < 2 {
+		return c.send(ctx, b, body)
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the loser (and any stragglers) on return
+
+	type outcome struct {
+		res core.Result
+		err error
+		b   *backend
+	}
+	out := make(chan outcome, 2)
+	send := func(to *backend) {
+		res, err := c.send(hctx, to, body)
+		out <- outcome{res, err, to}
+	}
+	go send(b)
+
+	timer := time.NewTimer(c.cfg.HedgeDelay)
+	defer timer.Stop()
+	launched, hedged := 1, false
+	var firstErr error
+	for {
+		select {
+		case o := <-out:
+			if o.err == nil {
+				if hedged && o.b != b {
+					c.metrics.hedgeWins.Add(1)
+				}
+				return o.res, nil
+			}
+			launched--
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if launched == 0 {
+				return core.Result{}, firstErr
+			}
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			second := c.pick(b)
+			if second == nil {
+				continue // nowhere to hedge; keep waiting on the primary
+			}
+			hedged = true
+			launched++
+			c.metrics.hedged.Add(1)
+			c.metrics.dispatched.Add(1)
+			go send(second)
+		}
+	}
+}
+
+// rateLimitedError is a 429 response with its Retry-After hint.
+type rateLimitedError struct {
+	backend string
+	after   time.Duration
+}
+
+func (e *rateLimitedError) Error() string {
+	return fmt.Sprintf("fleet: %s rate-limited (retry after %s)", e.backend, e.after)
+}
+
+// runCfgReply mirrors simserver's POST /v1/runcfg response.
+type runCfgReply struct {
+	Key    string      `json:"key"`
+	Result core.Result `json:"result"`
+}
+
+// send performs one POST /v1/runcfg against backend b, maintaining its
+// load gauge, breaker, and latency stats.
+func (c *Client) send(ctx context.Context, b *backend, body []byte) (core.Result, error) {
+	var zero core.Result
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	b.requests.Add(1)
+
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, b.url+"/v1/runcfg", bytes.NewReader(body))
+	if err != nil {
+		return zero, fmt.Errorf("fleet: %s: %w", b.url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := c.cfg.now()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Caller cancelled (sweep interrupt or a hedge race loss):
+			// not the backend's fault, so the breaker is untouched.
+			return zero, ctx.Err()
+		}
+		b.errors.Add(1)
+		b.breaker.failure()
+		return zero, fmt.Errorf("fleet: %s: %w", b.url, err)
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var reply runCfgReply
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			b.errors.Add(1)
+			b.breaker.failure()
+			return zero, fmt.Errorf("fleet: %s: decoding response: %w", b.url, err)
+		}
+		b.breaker.success()
+		b.observe(c.cfg.now().Sub(start).Microseconds())
+		return reply.Result, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// The backend is healthy, just saturated: honour Retry-After
+		// without charging the breaker.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		b.ratelim.Add(1)
+		c.metrics.rateLimited.Add(1)
+		after := time.Duration(0)
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && secs >= 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return zero, &rateLimitedError{backend: b.url, after: after}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		b.errors.Add(1)
+		b.breaker.failure()
+		return zero, fmt.Errorf("fleet: %s: status %d: %s", b.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// Executor adapts the client to internal/runner: jobs whose payload is
+// a transportable core.Config are dispatched to the pool; anything else
+// — and any job the pool cannot take (ErrNoBackends) — runs locally via
+// the job's own Run closure, so a sweep always completes.
+func (c *Client) Executor() runner.Executor[core.Result] {
+	return executor{c}
+}
+
+type executor struct{ c *Client }
+
+func (e executor) Execute(ctx context.Context, j runner.Job[core.Result]) (core.Result, error) {
+	cfg, ok := j.Payload.(core.Config)
+	if !ok || cfg.Programs != nil {
+		// No transportable payload (or live program state): local run.
+		return j.Run(ctx)
+	}
+	res, err := e.c.Run(ctx, cfg)
+	if errors.Is(err, ErrNoBackends) {
+		e.c.metrics.localFallback.Add(1)
+		return j.Run(ctx)
+	}
+	return res, err
+}

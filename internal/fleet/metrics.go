@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// clientMetrics are the fleet client's dispatch counters, exposed in
+// the same dependency-free Prometheus text style as
+// internal/simserver/metrics.go.
+type clientMetrics struct {
+	dispatched    atomic.Int64 // requests sent to backends (incl. hedges, retries)
+	retried       atomic.Int64 // re-dispatches after a failure
+	hedged        atomic.Int64 // hedge requests launched
+	hedgeWins     atomic.Int64 // hedge responses that beat the primary
+	rateLimited   atomic.Int64 // 429 responses received
+	localFallback atomic.Int64 // jobs run locally (pool empty / fully broken)
+}
+
+// WriteMetrics renders the client's counters, circuit state, and
+// per-backend request/error/latency series in Prometheus text
+// exposition format.
+func (c *Client) WriteMetrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("fleet_dispatched_total", "Requests dispatched to backends, including retries and hedges.", c.metrics.dispatched.Load())
+	counter("fleet_retried_total", "Dispatches that were retries after a failed attempt.", c.metrics.retried.Load())
+	counter("fleet_hedged_total", "Hedged (duplicate) requests launched to cut tail latency.", c.metrics.hedged.Load())
+	counter("fleet_hedge_wins_total", "Hedged requests that answered before the primary.", c.metrics.hedgeWins.Load())
+	counter("fleet_rate_limited_total", "429 responses received from backends.", c.metrics.rateLimited.Load())
+	counter("fleet_local_fallback_total", "Jobs executed locally because no backend could take them.", c.metrics.localFallback.Load())
+
+	var opens int64
+	for _, b := range c.backends {
+		opens += b.breaker.openCount()
+	}
+	counter("fleet_circuit_open_total", "Circuit-breaker transitions to open (broken backend detected).", opens)
+
+	fmt.Fprintf(w, "# HELP fleet_backends Backends registered in the pool.\n# TYPE fleet_backends gauge\nfleet_backends %d\n", len(c.backends))
+	fmt.Fprintf(w, "# HELP fleet_backends_healthy Backends currently routable (probe up, circuit not open).\n# TYPE fleet_backends_healthy gauge\nfleet_backends_healthy %d\n", c.Healthy())
+
+	if len(c.backends) == 0 {
+		return
+	}
+	labeled := func(name, help, typ string, value func(*backend) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, b := range c.backends {
+			fmt.Fprintf(w, "%s{backend=%q} %s\n", name, b.url, value(b))
+		}
+	}
+	labeled("fleet_backend_requests_total", "Requests sent to this backend.", "counter",
+		func(b *backend) string { return fmt.Sprintf("%d", b.requests.Load()) })
+	labeled("fleet_backend_errors_total", "Failed requests to this backend (transport, 5xx, timeout).", "counter",
+		func(b *backend) string { return fmt.Sprintf("%d", b.errors.Load()) })
+	labeled("fleet_backend_rate_limited_total", "429 responses from this backend.", "counter",
+		func(b *backend) string { return fmt.Sprintf("%d", b.ratelim.Load()) })
+	labeled("fleet_backend_inflight", "Requests in flight to this backend now.", "gauge",
+		func(b *backend) string { return fmt.Sprintf("%d", b.inflight.Load()) })
+	labeled("fleet_backend_up", "1 when the last health probe succeeded.", "gauge",
+		func(b *backend) string {
+			if up, _ := b.probed(); up {
+				return "1"
+			}
+			return "0"
+		})
+	labeled("fleet_backend_circuit_state", "Circuit state: 0 closed, 1 half-open, 2 open.", "gauge",
+		func(b *backend) string { return fmt.Sprintf("%d", int(b.breaker.state())) })
+	labeled("fleet_backend_latency_seconds_sum", "Cumulative latency of successful requests.", "counter",
+		func(b *backend) string { sum, _ := b.latency(); return fmt.Sprintf("%g", sum) })
+	labeled("fleet_backend_latency_seconds_count", "Successful requests measured.", "counter",
+		func(b *backend) string { _, n := b.latency(); return fmt.Sprintf("%d", n) })
+}

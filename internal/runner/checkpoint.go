@@ -20,33 +20,57 @@ type Entry struct {
 // Checkpoint is an append-only JSONL record of completed jobs. It is
 // safe for concurrent Record calls from pool workers.
 type Checkpoint struct {
-	path string
-	mu   sync.Mutex
-	f    *os.File
-	done map[string]json.RawMessage
+	path    string
+	mu      sync.Mutex
+	f       *os.File
+	done    map[string]json.RawMessage
+	skipped int
 }
 
 // Open creates or opens a checkpoint file. With resume true, existing
 // entries are loaded (satisfying matching jobs on the next Run) and new
 // results append; with resume false any existing file is truncated.
+//
+// A crash mid-append leaves a torn, unterminated tail line. On resume
+// that tail is discarded — from memory and from the file, so the next
+// appended entry starts on a clean line instead of being concatenated
+// onto the torn bytes (which would poison it for every later resume).
+// The affected job simply reruns; Skipped reports how many lines were
+// dropped so callers can warn.
 func Open(path string, resume bool) (*Checkpoint, error) {
 	done := make(map[string]json.RawMessage)
+	skipped := 0
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if resume {
 		data, err := os.ReadFile(path)
 		if err != nil && !os.IsNotExist(err) {
 			return nil, fmt.Errorf("runner: resume %s: %w", path, err)
 		}
-		for _, line := range bytes.Split(data, []byte("\n")) {
-			line = bytes.TrimSpace(line)
-			if len(line) == 0 {
-				continue
+		// Scan lines tracking byte offsets so a torn tail can be cut off
+		// the file, not just ignored in memory.
+		tailStart, tailOK := 0, true
+		for off := 0; off < len(data); {
+			end := len(data)
+			if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+				end = off + nl + 1
 			}
-			var e Entry
-			if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
-				continue // torn tail line from an interrupted write
+			line := bytes.TrimSpace(data[off:end])
+			if len(line) > 0 {
+				var e Entry
+				if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+					skipped++
+					tailStart, tailOK = off, false
+				} else {
+					done[e.Key] = e.Result
+					tailOK = true
+				}
 			}
-			done[e.Key] = e.Result
+			off = end
+		}
+		if !tailOK {
+			if err := os.Truncate(path, int64(tailStart)); err != nil {
+				return nil, fmt.Errorf("runner: dropping torn checkpoint tail in %s: %w", path, err)
+			}
 		}
 	} else {
 		flags |= os.O_TRUNC
@@ -55,8 +79,14 @@ func Open(path string, resume bool) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
 	}
-	return &Checkpoint{path: path, f: f, done: done}, nil
+	return &Checkpoint{path: path, f: f, done: done, skipped: skipped}, nil
 }
+
+// Skipped reports how many unreadable lines (torn tails from
+// interrupted writes, or other corruption) were discarded on resume.
+// Callers should surface a warning when it is non-zero; the affected
+// jobs rerun.
+func (c *Checkpoint) Skipped() int { return c.skipped }
 
 // Path returns the backing file path.
 func (c *Checkpoint) Path() string { return c.path }

@@ -43,10 +43,38 @@ type Job[T any] struct {
 	// Key is the checkpoint identity (job name + config hash; see
 	// KeyOf). Empty disables checkpointing for this job.
 	Key string
-	// Run computes the result. It must be deterministic for checkpoint
-	// resume to be sound.
+	// Run computes the result locally. It must be deterministic for
+	// checkpoint resume to be sound. It is also every Executor's
+	// fallback, so it must stay correct even when an executor normally
+	// routes the job elsewhere.
 	Run func(ctx context.Context) (T, error)
+	// Payload optionally exposes the job's input (e.g. a simulation
+	// config) so a non-local Executor can ship it to a remote backend
+	// instead of calling Run. Executors that cannot interpret the
+	// payload fall back to Run.
+	Payload any
 }
+
+// Executor is the pluggable compute behind a Run call: it evaluates one
+// job and returns its result. The local executor (a nil Executor, or
+// Local) calls the job's own Run closure; internal/fleet provides a
+// distributed one that ships job payloads to a pool of smtsimd
+// backends. Executors must be deterministic in the same sense as
+// Job.Run: equal payloads produce equal results, no matter which
+// executor (or backend) served them — checkpoint resume and
+// index-aligned output depend on it.
+//
+// Execute may be called concurrently from pool workers.
+type Executor[T any] interface {
+	Execute(ctx context.Context, j Job[T]) (T, error)
+}
+
+// Local is the identity executor: it runs every job in-process via its
+// Run closure. RunWith with a nil executor behaves identically.
+type Local[T any] struct{}
+
+// Execute implements Executor by calling j.Run.
+func (Local[T]) Execute(ctx context.Context, j Job[T]) (T, error) { return j.Run(ctx) }
 
 // Event describes one settled job, delivered to Options.Hook.
 type Event struct {
@@ -117,6 +145,14 @@ func KeyOf(name string, config any) string {
 // checkpointed, and the returned error wraps ctx.Err(); the result
 // slice holds every completed job (zero values elsewhere).
 func Run[T any](ctx context.Context, jobs []Job[T], o Options) ([]T, error) {
+	return RunWith[T](ctx, jobs, o, nil)
+}
+
+// RunWith is Run with a pluggable Executor: the pool, checkpointing,
+// progress, fail-fast, and drain semantics are identical, but each
+// pending job is evaluated by exec instead of its own Run closure. A
+// nil exec selects local execution.
+func RunWith[T any](ctx context.Context, jobs []Job[T], o Options, exec Executor[T]) ([]T, error) {
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 
@@ -175,7 +211,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options) ([]T, error) {
 					continue
 				}
 				j := jobs[i]
-				v, attempts, err := attempt(runCtx, j)
+				v, attempts, err := attempt(runCtx, j, exec)
 				if err == nil && o.Checkpoint != nil && j.Key != "" {
 					if cerr := o.Checkpoint.Record(j.Key, v); cerr != nil {
 						err = fmt.Errorf("checkpoint: %w", cerr)
@@ -225,10 +261,10 @@ dispatch:
 // attempt runs a job with panic recovery and one bounded retry: a
 // panicking job is re-run once, and a second panic (or any returned
 // error) fails the job.
-func attempt[T any](ctx context.Context, j Job[T]) (v T, attempts int, err error) {
+func attempt[T any](ctx context.Context, j Job[T], exec Executor[T]) (v T, attempts int, err error) {
 	const maxAttempts = 2
 	for attempts = 1; attempts <= maxAttempts; attempts++ {
-		v, err = runOnce(ctx, j)
+		v, err = runOnce(ctx, j, exec)
 		if err == nil {
 			return v, attempts, nil
 		}
@@ -240,12 +276,15 @@ func attempt[T any](ctx context.Context, j Job[T]) (v T, attempts int, err error
 	return v, maxAttempts, err
 }
 
-func runOnce[T any](ctx context.Context, j Job[T]) (v T, err error) {
+func runOnce[T any](ctx context.Context, j Job[T], exec Executor[T]) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			var zero T
 			v, err = zero, &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
+	if exec != nil {
+		return exec.Execute(ctx, j)
+	}
 	return j.Run(ctx)
 }

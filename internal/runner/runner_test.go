@@ -343,6 +343,79 @@ func TestCheckpointToleratesTornTailLine(t *testing.T) {
 	}
 }
 
+func TestTornTailTruncatedRerunsAndSurvivesSecondResume(t *testing.T) {
+	// The dangerous failure mode: a torn tail line left in place would
+	// be CONCATENATED with the next O_APPEND write, poisoning the new
+	// entry for every later resume. Open must truncate the torn bytes so
+	// an entry recorded after resume survives a second resume.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	cp, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Record("j0#h", 10); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hand-truncated final line: interrupt hit mid-append.
+	if _, err := f.WriteString(`{"key":"j1#h","result":2`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cp2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1", cp2.Skipped())
+	}
+	if cp2.Len() != 1 {
+		t.Fatalf("loaded %d entries, want 1", cp2.Len())
+	}
+	// The torn job is not satisfied by the checkpoint: it reruns.
+	var ran atomic.Int32
+	jobs := []Job[int]{
+		{Name: "j0", Key: "j0#h", Run: func(context.Context) (int, error) { ran.Add(1); return -1, nil }},
+		{Name: "j1", Key: "j1#h", Run: func(context.Context) (int, error) { ran.Add(1); return 20, nil }},
+	}
+	got, err := Run(context.Background(), jobs, Options{Workers: 1, Checkpoint: cp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("%d jobs ran, want 1 (only the torn one)", ran.Load())
+	}
+	if got[0] != 10 || got[1] != 20 {
+		t.Fatalf("results = %v, want [10 20]", got)
+	}
+	cp2.Close()
+
+	// Second resume: both entries must load — proving the rerun's entry
+	// landed on a clean line, not glued onto the torn bytes.
+	cp3, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp3.Close()
+	if cp3.Skipped() != 0 {
+		t.Fatalf("second resume Skipped() = %d, want 0 (torn tail should be gone)", cp3.Skipped())
+	}
+	if cp3.Len() != 2 {
+		t.Fatalf("second resume loaded %d entries, want 2", cp3.Len())
+	}
+	for _, key := range []string{"j0#h", "j1#h"} {
+		if _, ok := cp3.Lookup(key); !ok {
+			t.Fatalf("entry %q lost after second resume", key)
+		}
+	}
+}
+
 func TestKeyOfChangesWithConfig(t *testing.T) {
 	type cfg struct{ Threads, Quanta int }
 	a := KeyOf("sim/mix/i0", cfg{8, 64})

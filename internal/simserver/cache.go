@@ -64,3 +64,6 @@ func (c *lru) len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// capacity reports the configured entry bound.
+func (c *lru) capacity() int { return c.cap }

@@ -49,14 +49,20 @@ func (m *metrics) observeRunSeconds(s float64) {
 	m.latBuckets[len(latencyBuckets)].Add(1) // +Inf
 }
 
+// writeCounter emits one counter in Prometheus text exposition format.
+func writeCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// writeGauge emits one gauge in Prometheus text exposition format.
+func writeGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
 // writePrometheus renders every metric in Prometheus text format.
 func (m *metrics) writePrometheus(w io.Writer) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
+	counter := func(name, help string, v int64) { writeCounter(w, name, help, v) }
+	gauge := func(name, help string, v int64) { writeGauge(w, name, help, v) }
 	counter("smtsimd_requests_total", "POST /v1/run requests received.", m.requests.Load())
 	counter("smtsimd_bad_requests_total", "Requests rejected as malformed or invalid.", m.badRequests.Load())
 	counter("smtsimd_cache_hits_total", "Run requests served from the result cache.", m.cacheHits.Load())

@@ -1,0 +1,213 @@
+package simserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simrun"
+	"repro/internal/trace"
+)
+
+func testCoreConfig(t *testing.T) core.Config {
+	t.Helper()
+	var req simrun.Request
+	if err := json.Unmarshal([]byte(testRequest), &req); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func postRunCfg(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/runcfg", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/runcfg: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, raw
+}
+
+// TestRunCfgByteIdenticalAndCached: a raw core.Config posted to
+// /v1/runcfg returns a Result byte-identical (as JSON) to running the
+// same config in-process, and a repeat request is served from the cache
+// without a second simulation.
+func TestRunCfgByteIdenticalAndCached(t *testing.T) {
+	var sims atomic.Int64
+	srv := New(Config{
+		Workers: 2,
+		Run: func(ctx context.Context, cfg core.Config) (core.Result, error) {
+			sims.Add(1)
+			return simrun.Run(ctx, cfg)
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	cfg := testCoreConfig(t)
+	direct, err := simrun.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, raw := postRunCfg(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var reply struct {
+		Key    string      `json:"key"`
+		Result core.Result `json:"result"`
+		Cached bool        `json:"cached"`
+	}
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply.Key, "cfg:") {
+		t.Fatalf("key %q not namespaced with cfg: prefix", reply.Key)
+	}
+	got, err := json.Marshal(reply.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("remote result diverges from local run:\n got: %s\nwant: %s", got, want)
+	}
+
+	resp2, raw2 := postRunCfg(t, ts.URL, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp2.StatusCode, raw2)
+	}
+	var reply2 struct {
+		Cached bool        `json:"cached"`
+		Result core.Result `json:"result"`
+	}
+	if err := json.Unmarshal(raw2, &reply2); err != nil {
+		t.Fatal(err)
+	}
+	if !reply2.Cached {
+		t.Fatal("repeat request was not served from the cache")
+	}
+	if sims.Load() != 1 {
+		t.Fatalf("two identical runcfg requests ran %d simulations, want 1", sims.Load())
+	}
+}
+
+// TestRunCfgRejectsBadConfigs: malformed JSON, invalid configs, and
+// configs carrying live program state are all 400s, not simulations.
+func TestRunCfgRejectsBadConfigs(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	resp, raw := postRunCfg(t, ts.URL, []byte(`{not json`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d (%s), want 400", resp.StatusCode, raw)
+	}
+
+	bad := testCoreConfig(t)
+	bad.Threads = 0
+	body, _ := json.Marshal(bad)
+	resp, raw = postRunCfg(t, ts.URL, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid config: status %d (%s), want 400", resp.StatusCode, raw)
+	}
+
+	withProgs := testCoreConfig(t)
+	withProgs.Programs = []*trace.Program{}
+	body, _ = json.Marshal(withProgs)
+	resp, raw = postRunCfg(t, ts.URL, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("config with Programs: status %d (%s), want 400", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "Programs") {
+		t.Fatalf("Programs rejection does not explain itself: %s", raw)
+	}
+}
+
+// TestMetricsCacheGauges: /metrics reports cache occupancy and capacity
+// so operators can see eviction pressure.
+func TestMetricsCacheGauges(t *testing.T) {
+	srv := New(Config{Workers: 1, CacheEntries: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	fetch := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	m := fetch()
+	if !strings.Contains(m, "smtsimd_cache_entries 0\n") {
+		t.Fatalf("empty server metrics missing smtsimd_cache_entries 0:\n%s", m)
+	}
+	if !strings.Contains(m, "smtsimd_cache_capacity 64\n") {
+		t.Fatalf("metrics missing smtsimd_cache_capacity 64:\n%s", m)
+	}
+
+	body, _ := json.Marshal(testCoreConfig(t))
+	if resp, raw := postRunCfg(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("runcfg status %d: %s", resp.StatusCode, raw)
+	}
+	if m := fetch(); !strings.Contains(m, "smtsimd_cache_entries 1\n") {
+		t.Fatalf("metrics missing smtsimd_cache_entries 1 after a run:\n%s", m)
+	}
+}
+
+// TestHealthzReportsVersion: the health body carries the build version
+// so fleet probes can log backend skew.
+func TestHealthzReportsVersion(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q, want ok", h.Status)
+	}
+	if h.Version == "" {
+		t.Fatal("healthz version is empty; fleet skew logging needs it")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/simrun"
 	"repro/internal/trace"
@@ -112,6 +113,7 @@ func New(cfg Config) *Server {
 		stop:    cancel,
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/runcfg", s.handleRunCfg)
 	s.mux.HandleFunc("GET /v1/mixes", s.handleMixes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -200,19 +202,92 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.metrics.coalesced.Add(1)
 	}
 
+	resp, ok := s.await(w, r, f)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, runReply{runResponse: resp, Coalesced: !leader})
+}
+
+// runCfgReply is the POST /v1/runcfg response: the structured result
+// for a raw core.Config. This is the transport behind internal/fleet —
+// the client ships the exact config a local run would execute, so the
+// returned Result is byte-for-byte the same function of the same input
+// no matter which backend served it.
+type runCfgReply struct {
+	// Key is the cache identity the result is stored under.
+	Key string `json:"key"`
+	// Result is the full structured simulation result.
+	Result core.Result `json:"result"`
+	// Cached / Coalesced mirror the /v1/run delivery facts.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+}
+
+// handleRunCfg is POST /v1/runcfg: like /v1/run but the body is a raw
+// core.Config instead of a user-vocabulary request. It shares the
+// admission, singleflight, and cache machinery; cache keys carry a
+// "cfg:" prefix so a raw-config entry (whose request echo is empty) is
+// never served to a /v1/run caller.
+func (s *Server) handleRunCfg(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+
+	var cfg core.Config
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&cfg); err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding config: %v", err))
+		return
+	}
+	if cfg.Programs != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "config.Programs is not transportable; name a mix instead")
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := "cfg:" + simrun.Key(cfg)
+
+	if resp, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, runCfgReply{Key: key, Result: resp.Result, Cached: true})
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	f, leader := s.flights.join(key)
+	if leader {
+		s.wg.Add(1)
+		go s.execute(key, f, simrun.Request{}, cfg)
+	} else {
+		s.metrics.coalesced.Add(1)
+	}
+
+	resp, ok := s.await(w, r, f)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, runCfgReply{Key: key, Result: resp.Result, Coalesced: !leader})
+}
+
+// await blocks until flight f settles or the caller disconnects. It
+// returns ok=false after writing any error reply (or nothing, when the
+// client is gone and the flight continues for other waiters).
+func (s *Server) await(w http.ResponseWriter, r *http.Request, f *flight) (*runResponse, bool) {
 	select {
 	case <-f.done:
 	case <-r.Context().Done():
-		// Client gone; the flight continues for other waiters and for
-		// the cache. Nothing useful can be written.
 		s.metrics.canceled.Add(1)
-		return
+		return nil, false
 	}
 	if f.err != nil {
 		s.replyError(w, f.err)
-		return
+		return nil, false
 	}
-	writeJSON(w, http.StatusOK, runReply{runResponse: f.val, Coalesced: !leader})
+	return f.val, true
 }
 
 // execute is the singleflight leader's path: admission, worker slot,
@@ -299,18 +374,28 @@ func (s *Server) handleMixes(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// Health is the GET /healthz response body. Version lets fleet health
+// probes detect backend skew (mixed deployments) and log it.
+type Health struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	if s.baseCtx.Err() != nil {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, http.StatusOK, Health{Status: status, Version: buildinfo.Version()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writePrometheus(w)
-	fmt.Fprintf(w, "# HELP smtsimd_cache_entries Result cache entries resident.\n# TYPE smtsimd_cache_entries gauge\nsmtsimd_cache_entries %d\n", s.cache.len())
+	// Cache occupancy lives on the server, not the counter struct: the
+	// LRU is the source of truth, sampled at scrape time.
+	writeGauge(w, "smtsimd_cache_entries", "Result cache entries resident.", int64(s.cache.len()))
+	writeGauge(w, "smtsimd_cache_capacity", "Result cache entry capacity (LRU bound).", int64(s.cache.capacity()))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
