@@ -2,16 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench experiments tools clean
+.PHONY: all build vet test test-short check chaos bench experiments tools clean
 
 all: build vet test
 
 # PR gate: vet + full build + race-checked tests for the concurrent
-# runner, the simulation service, the fleet client, and their callers.
+# runner, the simulation service, the fleet client, and their callers,
+# plus the chaos fault-injection e2e suite.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/runner ./internal/stats ./internal/simrun ./internal/simserver ./internal/fleet
+	$(MAKE) chaos
+
+# Chaos suite: deterministic fault injection end to end (docs/chaos.md).
+# Build-tagged so `go test ./...` stays fast.
+chaos:
+	$(GO) test -race -tags chaos ./internal/chaos/
 
 build:
 	$(GO) build ./...

@@ -71,6 +71,8 @@ func main() {
 		hedgeF        = flag.Bool("hedge", false, "with -backends: hedge slow requests to a second backend")
 		maxRetriesF   = flag.Int("max-retries", 3, "with -backends: re-dispatches per run after a failure (-1 disables)")
 		fleetMetricsF = flag.Bool("fleet-metrics", false, "with -backends: print fleet client metrics to stderr on exit")
+		auditRateF    = flag.Float64("audit-rate", 0, "with -backends: fraction of runs (0..1) re-checked on a second backend; disagreements are majority-voted and byzantine backends quarantined")
+		auditSeedF    = flag.Uint64("audit-seed", 1, "with -backends: seed for the audit sampler (deterministic sampling)")
 		versionF      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -129,6 +131,8 @@ func main() {
 			Backends:   splitMixes(*backendsF), // same comma-list parsing
 			MaxRetries: *maxRetriesF,
 			Hedge:      *hedgeF,
+			AuditRate:  *auditRateF,
+			AuditSeed:  *auditSeedF,
 			Log:        os.Stderr,
 		})
 		if err != nil {
@@ -140,8 +144,8 @@ func main() {
 		if *fleetMetricsF {
 			defer fc.WriteMetrics(os.Stderr)
 		}
-	} else if *hedgeF || *fleetMetricsF {
-		fatalf("-hedge and -fleet-metrics require -backends")
+	} else if *hedgeF || *fleetMetricsF || *auditRateF != 0 {
+		fatalf("-hedge, -fleet-metrics, and -audit-rate require -backends")
 	}
 
 	// Ctrl-C / SIGTERM cancels the sweep context: in-flight runs drain

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// faultSequence drives n requests through a transport against a stub
+// backend and records which fault (if any) hit each request.
+func faultSequence(t *testing.T, tr *Transport, n int) []string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 2048))
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: tr}
+
+	var seq []string
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(ts.URL)
+		switch {
+		case err != nil:
+			seq = append(seq, "error")
+			continue
+		case resp.StatusCode == http.StatusInternalServerError:
+			seq = append(seq, "5xx")
+		default:
+			body, rerr := io.ReadAll(resp.Body)
+			switch {
+			case rerr != nil || len(body) != 2048:
+				seq = append(seq, "short")
+			case string(body) != strings.Repeat("x", 2048):
+				seq = append(seq, "corrupt")
+			default:
+				seq = append(seq, "ok")
+			}
+		}
+		resp.Body.Close()
+	}
+	return seq
+}
+
+func TestTransportDeterministicFromSeed(t *testing.T) {
+	cfg := TransportConfig{
+		Seed:          42,
+		ResetRate:     0.15,
+		TruncateRate:  0.15,
+		CorruptRate:   0.15,
+		ServerErrRate: 0.1,
+		BurstLen:      2,
+	}
+	a := faultSequence(t, NewTransport(cfg), 40)
+	b := faultSequence(t, NewTransport(cfg), 40)
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("same seed produced different fault sequences:\n%v\n%v", a, b)
+	}
+	// A different seed must not replay the same sequence (vanishingly
+	// unlikely over 40 draws at these rates).
+	cfg.Seed = 43
+	c := faultSequence(t, NewTransport(cfg), 40)
+	if strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Fatalf("different seeds produced identical fault sequences")
+	}
+	joined := strings.Join(a, ",")
+	for _, class := range []string{"error", "short", "5xx", "ok"} {
+		if !strings.Contains(joined, class) {
+			t.Errorf("sequence %v never produced %q; rates too low to exercise the class", a, class)
+		}
+	}
+}
+
+func TestTransportBurst5xx(t *testing.T) {
+	// ServerErrRate 1 means the first draw starts a burst; the
+	// following BurstLen-1 requests are swallowed without a draw.
+	tr := NewTransport(TransportConfig{Seed: 1, ServerErrRate: 1, BurstLen: 3})
+	seq := faultSequence(t, tr, 6)
+	want := []string{"5xx", "5xx", "5xx", "5xx", "5xx", "5xx"}
+	if strings.Join(seq, ",") != strings.Join(want, ",") {
+		t.Fatalf("burst sequence = %v, want all 5xx", seq)
+	}
+	if got := tr.Injected(Fault5xx); got != 6 {
+		t.Fatalf("Injected(Fault5xx) = %d, want 6", got)
+	}
+}
+
+func TestTransportCountsAndSummary(t *testing.T) {
+	tr := NewTransport(TransportConfig{Seed: 7, ResetRate: 1})
+	if _, err := (&http.Client{Transport: tr}).Get("http://invalid.test/"); err == nil {
+		t.Fatal("reset-rate-1 transport let a request through")
+	}
+	if tr.Injected(FaultReset) != 1 || tr.InjectedTotal() != 1 {
+		t.Fatalf("counters = reset:%d total:%d, want 1/1", tr.Injected(FaultReset), tr.InjectedTotal())
+	}
+	if s := tr.Summary(); !strings.Contains(s, "seed=7") || !strings.Contains(s, "reset=1") {
+		t.Fatalf("Summary() = %q, want seed and reset tally", s)
+	}
+}
+
+func TestWriterTearsMidWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, 10)
+	if n, err := w.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("pre-tear write = (%d, %v), want (8, nil)", n, err)
+	}
+	n, err := w.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("tearing write err = %v, want ErrTorn", err)
+	}
+	if n != 2 {
+		t.Fatalf("tearing write wrote %d bytes, want the 2 up to the boundary", n)
+	}
+	if !w.Torn() {
+		t.Fatal("Torn() = false after tear")
+	}
+	if _, err := w.Write([]byte("z")); !errors.Is(err, ErrTorn) {
+		t.Fatalf("post-tear write err = %v, want ErrTorn", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrTorn) {
+		t.Fatalf("post-tear Sync err = %v, want ErrTorn", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close after tear: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "12345678ab" {
+		t.Fatalf("file = %q, want exactly the 10 bytes before the tear", data)
+	}
+}
+
+func TestWriterSyncPassthrough(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, 1<<20)
+	if _, err := w.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync passthrough: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

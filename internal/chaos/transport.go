@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TransportConfig tunes a Transport. Rates are probabilities in [0, 1];
+// at most one fault fires per request (drawn cumulatively in the order
+// reset, latency, truncate, corrupt, 5xx). Zero values inject nothing.
+type TransportConfig struct {
+	// Seed drives every fault decision. The same seed replays the same
+	// fault sequence; log it so a failure can be reproduced.
+	Seed uint64
+
+	ResetRate     float64
+	LatencyRate   float64
+	TruncateRate  float64
+	CorruptRate   float64
+	ServerErrRate float64
+
+	// Latency is the spike injected by FaultLatency; <= 0 selects 25ms.
+	Latency time.Duration
+	// BurstLen is how many consecutive requests a Fault5xx trigger
+	// poisons; <= 0 selects 3.
+	BurstLen int
+	// Inner is the wrapped transport; nil selects
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+	// Log, when non-nil, receives one line per injected fault.
+	Log io.Writer
+}
+
+// Transport is a fault-injecting http.RoundTripper. It is safe for
+// concurrent use, like the transport it wraps.
+type Transport struct {
+	cfg   TransportConfig
+	calls atomic.Uint64
+	burst atomic.Int64 // remaining synthesized 500s in the current burst
+	stats counters
+}
+
+// NewTransport builds a fault-injecting transport with defaults
+// applied.
+func NewTransport(cfg TransportConfig) *Transport {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 25 * time.Millisecond
+	}
+	if cfg.BurstLen <= 0 {
+		cfg.BurstLen = 3
+	}
+	if cfg.Inner == nil {
+		cfg.Inner = http.DefaultTransport
+	}
+	return &Transport{cfg: cfg}
+}
+
+// Seed reports the seed the transport draws faults from.
+func (t *Transport) Seed() uint64 { return t.cfg.Seed }
+
+// Injected reports how many faults of class f have fired.
+func (t *Transport) Injected(f Fault) int64 { return t.stats.get(f) }
+
+// InjectedTotal reports how many faults have fired across all classes.
+func (t *Transport) InjectedTotal() int64 { return t.stats.total() }
+
+// Summary renders the injected-fault tally, e.g. "reset=3 corrupt=7".
+func (t *Transport) Summary() string {
+	return fmt.Sprintf("chaos(seed=%d): %s", t.cfg.Seed, t.stats.String())
+}
+
+// errReset is the injected connection failure.
+type errReset struct{ n uint64 }
+
+func (e errReset) Error() string {
+	return fmt.Sprintf("chaos: injected connection reset (event %d)", e.n)
+}
+
+// RoundTrip draws at most one fault for this request and applies it.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// An active 5xx burst swallows requests regardless of the draw.
+	for {
+		left := t.burst.Load()
+		if left <= 0 {
+			break
+		}
+		if t.burst.CompareAndSwap(left, left-1) {
+			t.stats.add(Fault5xx)
+			t.logf("5xx (burst, %d left)", left-1)
+			return synth500(req), nil
+		}
+	}
+
+	n := t.calls.Add(1)
+	u := eventRand(t.cfg.Seed, n).Float64()
+	switch {
+	case u < t.cfg.ResetRate:
+		t.stats.add(FaultReset)
+		t.logf("reset (event %d)", n)
+		return nil, errReset{n}
+	case u < t.cfg.ResetRate+t.cfg.LatencyRate:
+		t.stats.add(FaultLatency)
+		t.logf("latency %s (event %d)", t.cfg.Latency, n)
+		select {
+		case <-time.After(t.cfg.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.cfg.Inner.RoundTrip(req)
+	case u < t.cfg.ResetRate+t.cfg.LatencyRate+t.cfg.TruncateRate:
+		resp, err := t.cfg.Inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		t.stats.add(FaultTruncate)
+		t.logf("truncate (event %d)", n)
+		resp.Body = &truncatingBody{inner: resp.Body, allow: truncateAt(t.cfg.Seed, n)}
+		return resp, nil
+	case u < t.cfg.ResetRate+t.cfg.LatencyRate+t.cfg.TruncateRate+t.cfg.CorruptRate:
+		resp, err := t.cfg.Inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		t.stats.add(FaultCorrupt)
+		t.logf("corrupt (event %d)", n)
+		resp.Body = &corruptingBody{inner: resp.Body, seed: t.cfg.Seed, event: n}
+		return resp, nil
+	case u < t.cfg.ResetRate+t.cfg.LatencyRate+t.cfg.TruncateRate+t.cfg.CorruptRate+t.cfg.ServerErrRate:
+		t.stats.add(Fault5xx)
+		t.burst.Store(int64(t.cfg.BurstLen) - 1)
+		t.logf("5xx (burst of %d starts, event %d)", t.cfg.BurstLen, n)
+		return synth500(req), nil
+	default:
+		return t.cfg.Inner.RoundTrip(req)
+	}
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.cfg.Log != nil {
+		fmt.Fprintf(t.cfg.Log, "chaos: "+format+"\n", args...)
+	}
+}
+
+// synth500 fabricates an HTTP 500 without touching the network.
+func synth500(req *http.Request) *http.Response {
+	const body = "chaos: injected server error"
+	return &http.Response{
+		Status:        "500 Internal Server Error",
+		StatusCode:    http.StatusInternalServerError,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"X-Chaos-Fault": []string{"5xx"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateAt picks how many body bytes event n lets through before the
+// cut: between 1 and 512, so headers parse but the JSON payload is
+// incomplete.
+func truncateAt(seed, n uint64) int64 {
+	return 1 + eventRand(seed, n<<16|1).Int64N(512)
+}
+
+// truncatingBody lets allow bytes through and then reports an
+// unexpected EOF, like a connection dropped mid-transfer.
+type truncatingBody struct {
+	inner io.ReadCloser
+	allow int64
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.allow <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.allow {
+		p = p[:b.allow]
+	}
+	n, err := b.inner.Read(p)
+	b.allow -= int64(n)
+	if err == nil && b.allow <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatingBody) Close() error { return b.inner.Close() }
+
+// corruptingBody flips one bit in roughly every 64 bytes of the stream,
+// deterministically from (seed, event). Corruption may land inside JSON
+// syntax (a decode error) or inside a value (a digest mismatch); both
+// must be survivable.
+type corruptingBody struct {
+	inner io.ReadCloser
+	seed  uint64
+	event uint64
+	off   uint64 // stream offset, to keep flips deterministic per chunk
+}
+
+func (b *corruptingBody) Read(p []byte) (int, error) {
+	n, err := b.inner.Read(p)
+	for i := 0; i < n; i++ {
+		pos := b.off + uint64(i)
+		if pos%64 == 0 {
+			r := eventRand(b.seed, b.event<<20|pos)
+			p[i] ^= byte(1 << r.IntN(8))
+		}
+	}
+	b.off += uint64(n)
+	return n, err
+}
+
+func (b *corruptingBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrTorn is returned by a Writer once it has torn the stream: the
+// write in flight was cut short and every later write is refused, the
+// way a process killed mid-write never writes again.
+var ErrTorn = errors.New("chaos: torn write (injected crash)")
+
+// Writer wraps an io.WriteCloser and simulates a kill -9 during an
+// append: the first write that would push the stream past TearAfter
+// bytes is written only up to the boundary and then fails with ErrTorn,
+// leaving a partial record on disk exactly like an interrupted
+// appender would. Subsequent writes fail immediately.
+//
+// It implements the optional Sync method (forwarded to the underlying
+// writer when present) so fsync-per-record code paths exercise the same
+// seam.
+type Writer struct {
+	inner     io.WriteCloser
+	remaining int64
+	torn      bool
+	stats     counters
+}
+
+// NewWriter wraps w; the stream tears once tearAfter total bytes have
+// been written. tearAfter <= 0 tears on the first write.
+func NewWriter(w io.WriteCloser, tearAfter int64) *Writer {
+	return &Writer{inner: w, remaining: tearAfter}
+}
+
+// Torn reports whether the tear has fired.
+func (w *Writer) Torn() bool { return w.torn }
+
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.torn {
+		return 0, ErrTorn
+	}
+	if int64(len(p)) <= w.remaining {
+		n, err := w.inner.Write(p)
+		w.remaining -= int64(n)
+		return n, err
+	}
+	w.torn = true
+	w.stats.add(FaultTear)
+	n, _ := w.inner.Write(p[:w.remaining])
+	w.remaining = 0
+	return n, ErrTorn
+}
+
+// Sync forwards to the underlying writer's Sync when it has one (e.g.
+// *os.File). A torn writer refuses to sync, like a dead process.
+func (w *Writer) Sync() error {
+	if w.torn {
+		return ErrTorn
+	}
+	if s, ok := w.inner.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Close closes the underlying writer. It stays callable after the tear
+// so deferred cleanup in the crashed-process simulation still releases
+// the file handle.
+func (w *Writer) Close() error { return w.inner.Close() }

@@ -12,6 +12,7 @@ package detector
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/policy"
 )
@@ -113,8 +114,26 @@ func DefaultConfig(n int) Config {
 	}
 }
 
-// Validate rejects nonsensical configurations.
+// Validate rejects nonsensical configurations. NaN is checked
+// explicitly for every float field: NaN compares false against any
+// bound, so a plain range check would wave it through to the simulator.
 func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"IPCThreshold", c.IPCThreshold},
+		{"CondMemL1Rate", c.CondMemL1Rate},
+		{"CondMemLSQRate", c.CondMemLSQRate},
+		{"CondBrMispRate", c.CondBrMispRate},
+		{"CondBrRate", c.CondBrRate},
+		{"CloggingFactor", c.CloggingFactor},
+		{"FairShare", c.FairShare},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("detector: %s must be finite, got %v", f.name, f.v)
+		}
+	}
 	switch {
 	case c.Quantum <= 0:
 		return fmt.Errorf("detector: Quantum must be positive")

@@ -20,6 +20,9 @@ type backend struct {
 	errors   atomic.Int64 // failed dispatches (transport, 5xx, timeout)
 	ratelim  atomic.Int64 // 429 responses
 
+	digestBad   atomic.Int64 // responses whose digest failed verification
+	quarantined atomic.Bool  // byzantine: permanently removed from the pool
+
 	latMu    sync.Mutex
 	latSumUs int64 // microseconds of successful requests
 	latCount int64

@@ -27,10 +27,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/simrun"
 )
 
 // Config tunes a fleet client. Zero values select the documented
@@ -68,6 +70,23 @@ type Config struct {
 	RequestTimeout time.Duration
 	// ProbeTimeout bounds one health probe; <= 0 selects 2s.
 	ProbeTimeout time.Duration
+	// RetryAfterMax caps how long a backend's Retry-After header can
+	// stall a shard; <= 0 selects 30s. Negative, unparsable, and
+	// past-dated headers are treated as "retry with normal backoff".
+	RetryAfterMax time.Duration
+	// AuditRate is the fraction of successful runs (0..1) re-dispatched
+	// to a second backend for digest cross-checking. When the two
+	// disagree, a third backend breaks the tie and the minority backend
+	// is quarantined (byzantine detection). 0 disables auditing.
+	AuditRate float64
+	// AuditSeed drives audit sampling; 0 selects 1. Equal seeds sample
+	// the same run indices, so audit coverage is reproducible.
+	AuditSeed uint64
+	// QuarantineThreshold is how many digest-mismatched responses a
+	// backend may return before it is quarantined (removed from the
+	// pool until the process restarts); <= 0 selects 3. Audit-vote
+	// losses quarantine immediately regardless of this threshold.
+	QuarantineThreshold int
 	// HTTPClient overrides the transport; nil selects a dedicated
 	// client (timeouts come from request contexts).
 	HTTPClient *http.Client
@@ -95,6 +114,8 @@ type Client struct {
 
 	stopProbe context.CancelFunc
 	probeDone chan struct{}
+
+	auditN atomic.Uint64 // successful runs seen by the audit sampler
 
 	skewMu   sync.Mutex
 	lastSkew string // last logged version-skew fingerprint
@@ -131,6 +152,18 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.RetryAfterMax <= 0 {
+		cfg.RetryAfterMax = 30 * time.Second
+	}
+	if cfg.AuditRate < 0 || cfg.AuditRate > 1 {
+		return nil, fmt.Errorf("fleet: AuditRate must be in [0, 1], got %g", cfg.AuditRate)
+	}
+	if cfg.AuditSeed == 0 {
+		cfg.AuditSeed = 1
+	}
+	if cfg.QuarantineThreshold <= 0 {
+		cfg.QuarantineThreshold = 3
 	}
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
@@ -194,16 +227,54 @@ func (c *Client) Close() {
 // Backends reports the pool size.
 func (c *Client) Backends() int { return len(c.backends) }
 
-// Healthy reports how many backends are currently routable (probe up
-// and circuit not open).
+// Healthy reports how many backends are currently routable (probe up,
+// circuit not open, not quarantined).
 func (c *Client) Healthy() int {
 	n := 0
 	for _, b := range c.backends {
+		if b.quarantined.Load() {
+			continue
+		}
 		if up, _ := b.probed(); up && b.breaker.state() != BreakerOpen {
 			n++
 		}
 	}
 	return n
+}
+
+// Quarantined reports how many backends have been quarantined for
+// returning results that failed digest verification or lost an audit
+// vote. Quarantine is permanent for the life of the client: a backend
+// that returns wrong bytes cannot be trusted after a cooldown.
+func (c *Client) Quarantined() int {
+	n := 0
+	for _, b := range c.backends {
+		if b.quarantined.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// quarantine removes b from the pool permanently and logs why. The
+// CompareAndSwap makes the transition (and its metric) fire once even
+// under concurrent detection.
+func (c *Client) quarantine(b *backend, reason string) {
+	if b.quarantined.CompareAndSwap(false, true) {
+		c.metrics.quarantinedTotal.Add(1)
+		fmt.Fprintf(c.cfg.Log, "fleet: backend %s QUARANTINED: %s\n", b.url, reason)
+	}
+}
+
+// noteDigestMismatch charges one corrupted response to b and
+// quarantines it at the configured threshold. Isolated mismatches are
+// usually in-flight corruption (retried elsewhere); repeated mismatches
+// from one backend mean the backend itself is producing bad bytes.
+func (c *Client) noteDigestMismatch(b *backend) {
+	c.metrics.digestMismatch.Add(1)
+	if n := b.digestBad.Add(1); n >= int64(c.cfg.QuarantineThreshold) {
+		c.quarantine(b, fmt.Sprintf("%d digest-mismatched response(s)", n))
+	}
 }
 
 // Run dispatches one simulation config to the pool and returns its
@@ -234,9 +305,9 @@ func (c *Client) Run(ctx context.Context, simCfg core.Config) (core.Result, erro
 		if attempt > 0 {
 			c.metrics.retried.Add(1)
 		}
-		res, err := c.dispatch(ctx, b, body)
+		res, served, err := c.dispatch(ctx, b, body)
 		if err == nil {
-			return res, nil
+			return c.maybeAudit(ctx, served, body, res), nil
 		}
 		if ctx.Err() != nil {
 			return zero, ctx.Err()
@@ -268,17 +339,27 @@ func (c *Client) backoff(attempt int) time.Duration {
 }
 
 // pick selects the least-loaded routable backend, preferring any
-// backend other than exclude (the one that just failed). Ties break by
-// URL so selection is deterministic under equal load. The half-open
-// trial slot is only consumed for the backend actually returned.
-func (c *Client) pick(exclude *backend) *backend {
+// backend not in exclude (the ones that just failed, or already served
+// the run being audited). Quarantined backends are never picked. Ties
+// break by URL so selection is deterministic under equal load. The
+// half-open trial slot is only consumed for the backend actually
+// returned.
+func (c *Client) pick(exclude ...*backend) *backend {
+	excluded := func(b *backend) bool {
+		for _, e := range exclude {
+			if b == e {
+				return true
+			}
+		}
+		return false
+	}
 	type cand struct {
 		b    *backend
 		load int64
 	}
 	var cands []cand
 	for _, b := range c.backends {
-		if b == exclude {
+		if excluded(b) || b.quarantined.Load() {
 			continue
 		}
 		if up, _ := b.probed(); !up {
@@ -301,22 +382,27 @@ func (c *Client) pick(exclude *backend) *backend {
 		}
 	}
 	// Last resort: a pool of one (or all alternatives broken) may retry
-	// the backend that just failed.
-	if exclude != nil {
-		if up, _ := exclude.probed(); up && exclude.breaker.allow() {
-			return exclude
+	// a backend that just failed — but never a quarantined one.
+	for _, e := range exclude {
+		if e == nil || e.quarantined.Load() {
+			continue
+		}
+		if up, _ := e.probed(); up && e.breaker.allow() {
+			return e
 		}
 	}
 	return nil
 }
 
 // dispatch sends one config to backend b, optionally racing a hedged
-// copy on a second backend. Exactly one result is returned per call;
-// the losing request is cancelled.
-func (c *Client) dispatch(ctx context.Context, b *backend, body []byte) (core.Result, error) {
+// copy on a second backend. Exactly one result is returned per call,
+// along with the backend that served it (so audits can attribute the
+// result); the losing request is cancelled.
+func (c *Client) dispatch(ctx context.Context, b *backend, body []byte) (core.Result, *backend, error) {
 	c.metrics.dispatched.Add(1)
 	if !c.cfg.Hedge || len(c.backends) < 2 {
-		return c.send(ctx, b, body)
+		res, err := c.send(ctx, b, body)
+		return res, b, err
 	}
 
 	hctx, cancel := context.WithCancel(ctx)
@@ -345,14 +431,14 @@ func (c *Client) dispatch(ctx context.Context, b *backend, body []byte) (core.Re
 				if hedged && o.b != b {
 					c.metrics.hedgeWins.Add(1)
 				}
-				return o.res, nil
+				return o.res, o.b, nil
 			}
 			launched--
 			if firstErr == nil {
 				firstErr = o.err
 			}
 			if launched == 0 {
-				return core.Result{}, firstErr
+				return core.Result{}, nil, firstErr
 			}
 		case <-timer.C:
 			if hedged {
@@ -385,6 +471,39 @@ func (e *rateLimitedError) Error() string {
 type runCfgReply struct {
 	Key    string      `json:"key"`
 	Result core.Result `json:"result"`
+	Digest string      `json:"digest"`
+}
+
+// parseRetryAfter hardens Retry-After handling: integer seconds and
+// HTTP-date forms are accepted, everything else — negative values,
+// past dates, garbage — collapses to 0 (normal backoff), and all
+// results are capped at max so a hostile or buggy backend cannot stall
+// a shard for hours.
+func parseRetryAfter(s string, now time.Time, max time.Duration) time.Duration {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		if secs > int(max/time.Second) {
+			return max
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		d := t.Sub(now)
+		if d <= 0 {
+			return 0
+		}
+		if d > max {
+			return max
+		}
+		return d
+	}
+	return 0
 }
 
 // send performs one POST /v1/runcfg against backend b, maintaining its
@@ -425,27 +544,102 @@ func (c *Client) send(ctx context.Context, b *backend, body []byte) (core.Result
 			b.breaker.failure()
 			return zero, fmt.Errorf("fleet: %s: decoding response: %w", b.url, err)
 		}
+		// End-to-end integrity: the digest the backend claims must match
+		// the digest recomputed over the bytes we actually decoded. A
+		// mismatch is corruption (in flight or at the backend) and is
+		// retryable on another backend; the body field wins over the
+		// header, and a backend too old to send either is accepted.
+		claimed := reply.Digest
+		if claimed == "" {
+			claimed = resp.Header.Get("X-Result-Digest")
+		}
+		if claimed != "" {
+			if got := simrun.ResultDigest(reply.Result); got != claimed {
+				b.errors.Add(1)
+				b.breaker.failure()
+				c.noteDigestMismatch(b)
+				return zero, fmt.Errorf("fleet: %s: result digest mismatch (claimed %.12s, recomputed %.12s): corrupted response", b.url, claimed, got)
+			}
+		}
 		b.breaker.success()
 		b.observe(c.cfg.now().Sub(start).Microseconds())
 		return reply.Result, nil
 	case resp.StatusCode == http.StatusTooManyRequests:
 		// The backend is healthy, just saturated: honour Retry-After
-		// without charging the breaker.
+		// (validated and capped) without charging the breaker.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
 		b.ratelim.Add(1)
 		c.metrics.rateLimited.Add(1)
-		after := time.Duration(0)
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if secs, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && secs >= 0 {
-				after = time.Duration(secs) * time.Second
-			}
-		}
+		after := parseRetryAfter(resp.Header.Get("Retry-After"), c.cfg.now(), c.cfg.RetryAfterMax)
 		return zero, &rateLimitedError{backend: b.url, after: after}
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
 		b.errors.Add(1)
 		b.breaker.failure()
 		return zero, fmt.Errorf("fleet: %s: status %d: %s", b.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// maybeAudit implements the sampled audit mode: a deterministic
+// fraction of successful runs (AuditRate, sampled by run index from
+// AuditSeed) is re-dispatched to a second backend and the two result
+// digests compared. Agreement returns the primary result untouched.
+// Disagreement escalates to a third backend for a majority vote: the
+// minority backend is quarantined as byzantine — it returned
+// internally-consistent but wrong bytes, which digest verification
+// alone can never catch — and the majority result is returned, so the
+// sweep's output stays correct even though a poisoned backend served
+// the original request. Audit dispatches never recurse (they bypass
+// Run) and audit failures never fail the run; auditing is a detector,
+// not a gate.
+func (c *Client) maybeAudit(ctx context.Context, served *backend, body []byte, res core.Result) core.Result {
+	if c.cfg.AuditRate <= 0 || served == nil {
+		return res
+	}
+	n := c.auditN.Add(1)
+	if rand.New(rand.NewPCG(c.cfg.AuditSeed, n)).Float64() >= c.cfg.AuditRate {
+		return res
+	}
+	second := c.pick(served)
+	if second == nil {
+		return res // nobody to cross-check against
+	}
+	c.metrics.audits.Add(1)
+	res2, err := c.send(ctx, second, body)
+	if err != nil {
+		return res // best-effort: an unavailable auditor is not evidence
+	}
+	d1, d2 := simrun.ResultDigest(res), simrun.ResultDigest(res2)
+	if d1 == d2 {
+		return res
+	}
+	c.metrics.auditDisagree.Add(1)
+	third := c.pick(served, second)
+	if third == nil {
+		c.metrics.auditInconclusive.Add(1)
+		fmt.Fprintf(c.cfg.Log, "fleet: audit disagreement between %s and %s with no third backend to vote; keeping the primary result\n",
+			served.url, second.url)
+		return res
+	}
+	res3, err := c.send(ctx, third, body)
+	if err != nil {
+		c.metrics.auditInconclusive.Add(1)
+		fmt.Fprintf(c.cfg.Log, "fleet: audit disagreement between %s and %s; tiebreaker %s failed (%v); keeping the primary result\n",
+			served.url, second.url, third.url, err)
+		return res
+	}
+	switch simrun.ResultDigest(res3) {
+	case d1:
+		c.quarantine(second, fmt.Sprintf("audit minority: result disagrees with %s and %s", served.url, third.url))
+		return res
+	case d2:
+		c.quarantine(served, fmt.Sprintf("audit minority: result disagrees with %s and %s", second.url, third.url))
+		return res2
+	default:
+		c.metrics.auditInconclusive.Add(1)
+		fmt.Fprintf(c.cfg.Log, "fleet: three-way audit disagreement across %s, %s, %s; no majority, keeping the primary result\n",
+			served.url, second.url, third.url)
+		return res
 	}
 }
 

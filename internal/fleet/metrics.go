@@ -16,6 +16,12 @@ type clientMetrics struct {
 	hedgeWins     atomic.Int64 // hedge responses that beat the primary
 	rateLimited   atomic.Int64 // 429 responses received
 	localFallback atomic.Int64 // jobs run locally (pool empty / fully broken)
+
+	digestMismatch    atomic.Int64 // responses rejected by digest verification
+	audits            atomic.Int64 // sampled cross-backend audits performed
+	auditDisagree     atomic.Int64 // audits where the two digests differed
+	auditInconclusive atomic.Int64 // disagreements with no usable majority
+	quarantinedTotal  atomic.Int64 // backends quarantined as byzantine
 }
 
 // WriteMetrics renders the client's counters, circuit state, and
@@ -31,6 +37,11 @@ func (c *Client) WriteMetrics(w io.Writer) {
 	counter("fleet_hedge_wins_total", "Hedged requests that answered before the primary.", c.metrics.hedgeWins.Load())
 	counter("fleet_rate_limited_total", "429 responses received from backends.", c.metrics.rateLimited.Load())
 	counter("fleet_local_fallback_total", "Jobs executed locally because no backend could take them.", c.metrics.localFallback.Load())
+	counter("fleet_digest_mismatch_total", "Responses rejected because the result digest failed verification.", c.metrics.digestMismatch.Load())
+	counter("fleet_audits_total", "Sampled cross-backend result audits performed.", c.metrics.audits.Load())
+	counter("fleet_audit_disagreements_total", "Audits where two backends returned different result digests.", c.metrics.auditDisagree.Load())
+	counter("fleet_audit_inconclusive_total", "Audit disagreements that could not be settled by majority vote.", c.metrics.auditInconclusive.Load())
+	counter("fleet_quarantined_total", "Backends quarantined for corrupt or byzantine results.", c.metrics.quarantinedTotal.Load())
 
 	var opens int64
 	for _, b := range c.backends {
@@ -67,6 +78,15 @@ func (c *Client) WriteMetrics(w io.Writer) {
 		})
 	labeled("fleet_backend_circuit_state", "Circuit state: 0 closed, 1 half-open, 2 open.", "gauge",
 		func(b *backend) string { return fmt.Sprintf("%d", int(b.breaker.state())) })
+	labeled("fleet_backend_digest_mismatch_total", "Responses from this backend rejected by digest verification.", "counter",
+		func(b *backend) string { return fmt.Sprintf("%d", b.digestBad.Load()) })
+	labeled("fleet_backend_quarantined", "1 when this backend is quarantined (corrupt or byzantine results).", "gauge",
+		func(b *backend) string {
+			if b.quarantined.Load() {
+				return "1"
+			}
+			return "0"
+		})
 	labeled("fleet_backend_latency_seconds_sum", "Cumulative latency of successful requests.", "counter",
 		func(b *backend) string { sum, _ := b.latency(); return fmt.Sprintf("%g", sum) })
 	labeled("fleet_backend_latency_seconds_count", "Successful requests measured.", "counter",

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
+	"strconv"
 	"sync"
 )
 
@@ -12,9 +15,31 @@ import (
 // hash with its JSON-encoded result. The file is JSONL — one Entry per
 // line, appended as jobs complete, so an interrupt loses at most the
 // line being written (a torn tail line is skipped on resume).
+//
+// Each line is prefixed with the IEEE CRC32 of its JSON payload,
+// rendered as eight hex digits and a space: "%08x {...}\n". The
+// checksum catches silent mid-file corruption (bit rot, partial block
+// writes) that a torn-tail scan alone cannot — a corrupted line fails
+// its CRC, is skipped, and the affected job reruns. Legacy lines
+// without the prefix still parse.
 type Entry struct {
 	Key    string          `json:"key"`
 	Result json.RawMessage `json:"result"`
+}
+
+// CheckpointOptions configures OpenWith.
+type CheckpointOptions struct {
+	// Resume loads existing entries instead of truncating the file.
+	Resume bool
+	// NoSync skips the fsync after each Record. The default (sync per
+	// record) means a completed job survives power loss the moment
+	// Record returns; NoSync trades that for throughput, bounding the
+	// loss to what the OS had not yet flushed.
+	NoSync bool
+	// WrapWriter, when non-nil, wraps the checkpoint's backing file —
+	// a fault-injection seam so tests can tear writes mid-line (see
+	// internal/chaos.Writer) and prove resume survives.
+	WrapWriter func(io.WriteCloser) io.WriteCloser
 }
 
 // Checkpoint is an append-only JSONL record of completed jobs. It is
@@ -22,7 +47,8 @@ type Entry struct {
 type Checkpoint struct {
 	path    string
 	mu      sync.Mutex
-	f       *os.File
+	w       io.WriteCloser
+	sync    bool
 	done    map[string]json.RawMessage
 	skipped int
 }
@@ -30,18 +56,26 @@ type Checkpoint struct {
 // Open creates or opens a checkpoint file. With resume true, existing
 // entries are loaded (satisfying matching jobs on the next Run) and new
 // results append; with resume false any existing file is truncated.
+func Open(path string, resume bool) (*Checkpoint, error) {
+	return OpenWith(path, CheckpointOptions{Resume: resume})
+}
+
+// OpenWith is Open with explicit durability and fault-injection
+// options.
 //
 // A crash mid-append leaves a torn, unterminated tail line. On resume
 // that tail is discarded — from memory and from the file, so the next
 // appended entry starts on a clean line instead of being concatenated
 // onto the torn bytes (which would poison it for every later resume).
-// The affected job simply reruns; Skipped reports how many lines were
-// dropped so callers can warn.
-func Open(path string, resume bool) (*Checkpoint, error) {
+// Mid-file lines that fail their CRC or do not parse are skipped in
+// memory but left in place. The affected jobs simply rerun; Skipped
+// reports how many lines were dropped so callers can warn.
+func OpenWith(path string, opts CheckpointOptions) (*Checkpoint, error) {
 	done := make(map[string]json.RawMessage)
 	skipped := 0
+	needNL := false
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	if resume {
+	if opts.Resume {
 		data, err := os.ReadFile(path)
 		if err != nil && !os.IsNotExist(err) {
 			return nil, fmt.Errorf("runner: resume %s: %w", path, err)
@@ -56,8 +90,8 @@ func Open(path string, resume bool) (*Checkpoint, error) {
 			}
 			line := bytes.TrimSpace(data[off:end])
 			if len(line) > 0 {
-				var e Entry
-				if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+				e, err := parseLine(line)
+				if err != nil {
 					skipped++
 					tailStart, tailOK = off, false
 				} else {
@@ -72,6 +106,7 @@ func Open(path string, resume bool) (*Checkpoint, error) {
 				return nil, fmt.Errorf("runner: dropping torn checkpoint tail in %s: %w", path, err)
 			}
 		}
+		needNL = tailOK && len(data) > 0 && data[len(data)-1] != '\n'
 	} else {
 		flags |= os.O_TRUNC
 	}
@@ -79,13 +114,49 @@ func Open(path string, resume bool) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
 	}
-	return &Checkpoint{path: path, f: f, done: done, skipped: skipped}, nil
+	if needNL {
+		// A crash can cut a line after its last payload byte but before
+		// the newline: the entry is intact, but appending onto the
+		// unterminated tail would concatenate two lines into garbage.
+		// Terminate it now.
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: terminating checkpoint tail in %s: %w", path, err)
+		}
+	}
+	var w io.WriteCloser = f
+	if opts.WrapWriter != nil {
+		w = opts.WrapWriter(f)
+	}
+	return &Checkpoint{path: path, w: w, sync: !opts.NoSync, done: done, skipped: skipped}, nil
+}
+
+// parseLine decodes one checkpoint line in either format: the current
+// CRC-prefixed form "%08x <json>" or a legacy bare-JSON line.
+func parseLine(line []byte) (Entry, error) {
+	if len(line) > 9 && line[8] == ' ' {
+		if crc, err := strconv.ParseUint(string(line[:8]), 16, 32); err == nil {
+			payload := line[9:]
+			if crc32.ChecksumIEEE(payload) != uint32(crc) {
+				return Entry{}, fmt.Errorf("crc mismatch")
+			}
+			line = payload
+		}
+	}
+	var e Entry
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Entry{}, err
+	}
+	if e.Key == "" {
+		return Entry{}, fmt.Errorf("entry missing key")
+	}
+	return e, nil
 }
 
 // Skipped reports how many unreadable lines (torn tails from
-// interrupted writes, or other corruption) were discarded on resume.
-// Callers should surface a warning when it is non-zero; the affected
-// jobs rerun.
+// interrupted writes, CRC failures, or other corruption) were
+// discarded on resume. Callers should surface a warning when it is
+// non-zero; the affected jobs rerun.
 func (c *Checkpoint) Skipped() int { return c.skipped }
 
 // Path returns the backing file path.
@@ -106,22 +177,30 @@ func (c *Checkpoint) Lookup(key string) (json.RawMessage, bool) {
 	return raw, ok
 }
 
-// Record appends one completed job. The line reaches the file before
-// Record returns, so results survive a subsequent interrupt.
+// Record appends one completed job as a CRC-prefixed line and, unless
+// opened with NoSync, fsyncs before returning — so a recorded result
+// survives power loss, not just process death.
 func (c *Checkpoint) Record(key string, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	line, err := json.Marshal(Entry{Key: key, Result: raw})
+	payload, err := json.Marshal(Entry{Key: key, Result: raw})
 	if err != nil {
 		return err
 	}
-	line = append(line, '\n')
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.f.Write(line); err != nil {
+	if _, err := io.WriteString(c.w, line); err != nil {
 		return err
+	}
+	if c.sync {
+		if s, ok := c.w.(interface{ Sync() error }); ok {
+			if err := s.Sync(); err != nil {
+				return err
+			}
+		}
 	}
 	c.done[key] = raw
 	return nil
@@ -132,5 +211,5 @@ func (c *Checkpoint) Record(key string, v any) error {
 func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.f.Close()
+	return c.w.Close()
 }

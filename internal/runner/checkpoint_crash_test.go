@@ -1,0 +1,231 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// crashRecord holds fixed-size payloads so checkpoint lines have a
+// predictable length and tear offsets can sweep every byte position.
+type crashRecord struct {
+	N int `json:"n"`
+}
+
+// TestTornWriteNeverPoisonsResume sweeps the tear point across several
+// lines' worth of byte offsets. For every offset: records append until
+// the injected kill -9 fires, then a resume must (a) recover every
+// fully-recorded entry, (b) drop the torn tail, and (c) accept new
+// records that survive yet another resume — i.e. the file is never left
+// in a state that poisons later sessions.
+func TestTornWriteNeverPoisonsResume(t *testing.T) {
+	// Measure one line's length with an intact writer.
+	dir := t.TempDir()
+	probe := filepath.Join(dir, "probe.ckpt")
+	cp, err := Open(probe, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Record("job-000", crashRecord{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	info, err := os.Stat(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineLen := info.Size()
+
+	for off := int64(1); off < 3*lineLen; off += 7 {
+		t.Run(fmt.Sprintf("tear-at-%d", off), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "sweep.ckpt")
+			cp, err := OpenWith(path, CheckpointOptions{
+				WrapWriter: func(w io.WriteCloser) io.WriteCloser {
+					return chaos.NewWriter(w, off)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recorded := 0
+			for i := 0; i < 10; i++ {
+				err := cp.Record(fmt.Sprintf("job-%03d", i), crashRecord{N: i})
+				if err != nil {
+					if !errors.Is(err, chaos.ErrTorn) {
+						t.Fatalf("record %d: %v", i, err)
+					}
+					break
+				}
+				recorded++
+			}
+			cp.Close()
+			if recorded >= 10 {
+				t.Fatalf("tear at %d never fired", off)
+			}
+
+			// Resume 1: every record that returned nil must be present. A
+			// tear that only cost the trailing newline may additionally
+			// recover the in-flight record — that is a bonus, never a loss.
+			re, err := Open(path, true)
+			if err != nil {
+				t.Fatalf("resume after tear at %d: %v", off, err)
+			}
+			if re.Len() != recorded && re.Len() != recorded+1 {
+				t.Fatalf("resume recovered %d entries, want %d (or %d)", re.Len(), recorded, recorded+1)
+			}
+			for i := 0; i < recorded; i++ {
+				if _, ok := re.Lookup(fmt.Sprintf("job-%03d", i)); !ok {
+					t.Fatalf("resume lost job-%03d", i)
+				}
+			}
+			// The torn job reruns and re-records on a clean line.
+			if err := re.Record(fmt.Sprintf("job-%03d", recorded), crashRecord{N: recorded}); err != nil {
+				t.Fatalf("record after resume: %v", err)
+			}
+			re.Close()
+
+			// Resume 2: nothing skipped, nothing concatenated, all there.
+			re2, err := Open(path, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re2.Close()
+			if re2.Skipped() != 0 {
+				t.Fatalf("second resume skipped %d lines: file was poisoned", re2.Skipped())
+			}
+			if re2.Len() != recorded+1 {
+				t.Fatalf("second resume has %d entries, want %d", re2.Len(), recorded+1)
+			}
+		})
+	}
+}
+
+// TestCRCDetectsMidFileCorruption flips one byte in the middle line of
+// a three-entry checkpoint. Resume must skip exactly that line, keep
+// the neighbours, and leave the file intact (mid-file damage is
+// reported, not truncated over).
+func TestCRCDetectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.ckpt")
+	cp, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cp.Record(fmt.Sprintf("job-%d", i), crashRecord{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the middle line. The JSON still parses
+	// (digit for digit) so only the CRC can catch it.
+	mid := len(data) / 2
+	for ; mid < len(data); mid++ {
+		if data[mid] >= '0' && data[mid] <= '9' && data[mid-1] == ':' {
+			data[mid] = '0' + ('9' - data[mid])
+			break
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1 (the corrupted middle line)", re.Skipped())
+	}
+	if re.Len() != 2 {
+		t.Fatalf("Len() = %d, want the 2 intact entries", re.Len())
+	}
+	if _, ok := re.Lookup("job-0"); !ok {
+		t.Fatal("lost job-0 before the corrupted line")
+	}
+	if _, ok := re.Lookup("job-2"); !ok {
+		t.Fatal("lost job-2 after the corrupted line")
+	}
+}
+
+// TestLegacyPlainLinesStillParse: checkpoints written before the CRC
+// prefix existed are bare JSON lines; resume must still load them.
+func TestLegacyPlainLinesStillParse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	legacy := `{"key":"old-1","result":{"n":1}}` + "\n" + `{"key":"old-2","result":{"n":2}}` + "\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.Skipped() != 0 || cp.Len() != 2 {
+		t.Fatalf("legacy resume: Len=%d Skipped=%d, want 2/0", cp.Len(), cp.Skipped())
+	}
+	// New records append in the CRC format alongside the legacy lines
+	// and both survive the next resume.
+	if err := cp.Record("new-1", crashRecord{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	re, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 3 || re.Skipped() != 0 {
+		t.Fatalf("mixed-format resume: Len=%d Skipped=%d, want 3/0", re.Len(), re.Skipped())
+	}
+}
+
+// syncCounter counts Sync calls through the WrapWriter seam.
+type syncCounter struct {
+	io.WriteCloser
+	syncs int
+}
+
+func (s *syncCounter) Sync() error { s.syncs++; return nil }
+
+// TestFsyncPolicy: the default syncs once per Record; NoSync never
+// syncs.
+func TestFsyncPolicy(t *testing.T) {
+	for _, noSync := range []bool{false, true} {
+		var sc *syncCounter
+		path := filepath.Join(t.TempDir(), "sync.ckpt")
+		cp, err := OpenWith(path, CheckpointOptions{
+			NoSync: noSync,
+			WrapWriter: func(w io.WriteCloser) io.WriteCloser {
+				sc = &syncCounter{WriteCloser: w}
+				return sc
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := cp.Record(fmt.Sprintf("job-%d", i), crashRecord{N: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cp.Close()
+		want := 3
+		if noSync {
+			want = 0
+		}
+		if sc.syncs != want {
+			t.Errorf("NoSync=%v: %d syncs, want %d", noSync, sc.syncs, want)
+		}
+	}
+}

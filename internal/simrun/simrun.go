@@ -8,7 +8,11 @@ package simrun
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -86,10 +90,36 @@ func (r Request) Normalize() Request {
 	return r
 }
 
+// Validate rejects requests whose numeric fields are garbage before
+// they reach Normalize (which would silently default some of them) or
+// the simulator (which would faithfully simulate nonsense). Errors name
+// the offending JSON field so API callers can fix the right knob.
+func (r Request) Validate() error {
+	if math.IsNaN(r.M) || math.IsInf(r.M, 0) {
+		return fmt.Errorf("m: must be a finite number, got %v", r.M)
+	}
+	if r.M < 0 {
+		return fmt.Errorf("m: IPC threshold must be >= 0, got %v", r.M)
+	}
+	if r.Threads < 0 || r.Threads > 8 {
+		return fmt.Errorf("threads: must be in 1..8 (0 selects the default), got %d", r.Threads)
+	}
+	if r.Quanta < 0 {
+		return fmt.Errorf("quanta: must be > 0 (0 selects the default), got %d", r.Quanta)
+	}
+	if r.FastForward < -1 {
+		return fmt.Errorf("fastforward: must be >= -1 (-1 disables, 0 selects the default), got %d", r.FastForward)
+	}
+	return nil
+}
+
 // Config normalizes the request and assembles the core.Config both
 // front ends run. Unknown names (mix, mode, policy, heuristic) and
 // malformed kernels come back as errors, not panics.
 func (r Request) Config() (core.Config, error) {
+	if err := r.Validate(); err != nil {
+		return core.Config{}, err
+	}
 	r = r.Normalize()
 
 	cfg := core.DefaultConfig(r.Mix)
@@ -140,6 +170,23 @@ func (r Request) Config() (core.Config, error) {
 // deterministic functions of their config.
 func Key(cfg core.Config) string {
 	return runner.ConfigHash(cfg)
+}
+
+// ResultDigest is the canonical SHA-256 digest of a simulation result:
+// the hex digest of its JSON encoding. core.Result is plain data with
+// no custom marshalers and no maps, and encoding/json round-trips
+// float64 exactly, so decoding a result and re-digesting it reproduces
+// the digest computed by whoever encoded it — the property that lets a
+// fleet client verify a backend's X-Result-Digest end to end.
+// Undigestable results (which a deterministic simulator never produces)
+// digest to ""; callers treat "" as unverifiable, not as a mismatch.
+func ResultDigest(res core.Result) string {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
 }
 
 // Run executes one simulation. The context is consulted before the run

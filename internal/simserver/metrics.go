@@ -27,6 +27,7 @@ type metrics struct {
 	canceled    atomic.Int64 // client gone / per-request timeout
 	runs        atomic.Int64 // simulations actually executed
 	runErrors   atomic.Int64
+	panics      atomic.Int64 // recovered panics (handlers + simulations)
 
 	queueDepth atomic.Int64 // admitted but not yet running
 	inFlight   atomic.Int64 // simulations running now
@@ -72,6 +73,7 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	counter("smtsimd_canceled_total", "Run requests abandoned by client disconnect or timeout.", m.canceled.Load())
 	counter("smtsimd_simulations_total", "Simulations actually executed.", m.runs.Load())
 	counter("smtsimd_simulation_errors_total", "Simulations that returned an error.", m.runErrors.Load())
+	counter("smtsimd_panics_total", "Panics recovered (HTTP handlers and simulation executors); each became a 500 instead of a dead daemon.", m.panics.Load())
 	gauge("smtsimd_queue_depth", "Run requests admitted and waiting for a worker.", m.queueDepth.Load())
 	gauge("smtsimd_inflight", "Simulations running now.", m.inFlight.Load())
 

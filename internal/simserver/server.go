@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -120,8 +122,27 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler, wrapped in panic
+// recovery: a panicking handler becomes a 500 + smtsimd_panics_total
+// increment instead of a dead daemon.
+func (s *Server) Handler() http.Handler { return recoverMiddleware(s.mux, &s.metrics) }
+
+// recoverMiddleware converts a handler panic into a 500 response and a
+// metric, and keeps the daemon serving. The response write is
+// best-effort: if the handler panicked mid-body the client sees a
+// truncated reply, but the next request is served normally either way.
+func recoverMiddleware(next http.Handler, m *metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				m.panics.Add(1)
+				fmt.Fprintf(os.Stderr, "simserver: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Shutdown drains: it waits for every executing flight to settle, then
 // stops the simulation context. Call it after http.Server.Shutdown has
@@ -156,6 +177,10 @@ type runResponse struct {
 	// Report is the human-readable summary, byte-identical to what
 	// `smtsim` prints for the same configuration.
 	Report string `json:"report"`
+	// Digest is the canonical SHA-256 of Result (simrun.ResultDigest),
+	// echoed in the X-Result-Digest header. Clients recompute it over
+	// the decoded result to detect in-flight corruption.
+	Digest string `json:"digest"`
 }
 
 // runReply wraps a runResponse with per-request delivery facts.
@@ -189,6 +214,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	if resp, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
+		w.Header().Set("X-Result-Digest", resp.Digest)
 		writeJSON(w, http.StatusOK, runReply{runResponse: resp, Cached: true})
 		return
 	}
@@ -206,6 +232,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	w.Header().Set("X-Result-Digest", resp.Digest)
 	writeJSON(w, http.StatusOK, runReply{runResponse: resp, Coalesced: !leader})
 }
 
@@ -219,6 +246,10 @@ type runCfgReply struct {
 	Key string `json:"key"`
 	// Result is the full structured simulation result.
 	Result core.Result `json:"result"`
+	// Digest is the canonical SHA-256 of Result (simrun.ResultDigest),
+	// echoed in the X-Result-Digest header; internal/fleet verifies it
+	// on every response and treats a mismatch as retryable corruption.
+	Digest string `json:"digest"`
 	// Cached / Coalesced mirror the /v1/run delivery facts.
 	Cached    bool `json:"cached"`
 	Coalesced bool `json:"coalesced"`
@@ -253,7 +284,8 @@ func (s *Server) handleRunCfg(w http.ResponseWriter, r *http.Request) {
 
 	if resp, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		writeJSON(w, http.StatusOK, runCfgReply{Key: key, Result: resp.Result, Cached: true})
+		w.Header().Set("X-Result-Digest", resp.Digest)
+		writeJSON(w, http.StatusOK, runCfgReply{Key: key, Result: resp.Result, Digest: resp.Digest, Cached: true})
 		return
 	}
 	s.metrics.cacheMisses.Add(1)
@@ -270,7 +302,8 @@ func (s *Server) handleRunCfg(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, runCfgReply{Key: key, Result: resp.Result, Coalesced: !leader})
+	w.Header().Set("X-Result-Digest", resp.Digest)
+	writeJSON(w, http.StatusOK, runCfgReply{Key: key, Result: resp.Result, Digest: resp.Digest, Coalesced: !leader})
 }
 
 // await blocks until flight f settles or the caller disconnects. It
@@ -319,7 +352,7 @@ func (s *Server) execute(key string, f *flight, req simrun.Request, cfg core.Con
 	s.metrics.inFlight.Add(1)
 	runCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
 	start := time.Now()
-	res, err := s.cfg.Run(runCtx, cfg)
+	res, err := s.runSafe(runCtx, cfg)
 	elapsed := time.Since(start)
 	cancel()
 	s.metrics.inFlight.Add(-1)
@@ -336,9 +369,25 @@ func (s *Server) execute(key string, f *flight, req simrun.Request, cfg core.Con
 		Request: req,
 		Result:  res,
 		Report:  simrun.Report(cfg, res, simrun.ReportOptions{}),
+		Digest:  simrun.ResultDigest(res),
 	}
 	s.cache.add(key, resp)
 	s.flights.finish(key, f, resp, nil)
+}
+
+// runSafe executes one simulation with panic containment. The executor
+// runs detached from any request goroutine, so the HTTP middleware
+// cannot catch a panic here — without this recover, one poisoned config
+// would kill the whole daemon instead of failing one flight with a 500.
+func (s *Server) runSafe(ctx context.Context, cfg core.Config) (res core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.panics.Add(1)
+			fmt.Fprintf(os.Stderr, "simserver: panic in simulation: %v\n%s", v, debug.Stack())
+			res, err = core.Result{}, fmt.Errorf("simserver: simulation panic: %v", v)
+		}
+	}()
+	return s.cfg.Run(ctx, cfg)
 }
 
 // replyError maps a flight failure to an HTTP status.
