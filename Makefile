@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check chaos bench experiments tools clean
+.PHONY: all build vet test test-short check chaos bench bench-json experiments tools clean
 
 all: build vet test
 
@@ -36,6 +36,12 @@ test-short:
 # microbenchmarks (minutes). Full-scale runs: see `experiments`.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the committed perf snapshot (docs/perf.md). Full iteration
+# counts: a few minutes on an idle machine. The pre-PR numbers ride
+# along under "baseline" so the file reads as a trajectory.
+bench-json: tools
+	./bin/simbench -out BENCH_PR6.json -baseline docs/bench-baseline-pr6.json
 
 # Full-scale experiment suite (tens of minutes single-core); writes the
 # tables EXPERIMENTS.md is based on to stdout.

@@ -40,6 +40,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/profiling"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -74,12 +75,20 @@ func main() {
 		auditRateF    = flag.Float64("audit-rate", 0, "with -backends: fraction of runs (0..1) re-checked on a second backend; disagreements are majority-voted and byzantine backends quarantined")
 		auditSeedF    = flag.Uint64("audit-seed", 1, "with -backends: seed for the audit sampler (deterministic sampling)")
 		versionF      = flag.Bool("version", false, "print version and exit")
+		cpuProf       = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf       = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *versionF {
 		fmt.Println(buildinfo.String("adts-sweep"))
 		return
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adts-sweep:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	o := experiments.DefaultOptions()
 	o.Quanta = *quanta

@@ -1,0 +1,251 @@
+// Command simbench measures the pipeline core's throughput and writes
+// the result as JSON — the generator behind the committed
+// BENCH_PR6.json (see `make bench-json` and docs/perf.md).
+//
+// Two measurements per (mix, thread-count) cell:
+//
+//   - core: a warm machine advancing cycles, the steady-state inner
+//     loop. Reports ns/cycle, cycles/sec, allocs per 1k cycles (the
+//     allocation regression gate expects exactly 0), and the simulated
+//     IPC as a determinism fingerprint.
+//   - single_run: one short simulation end to end — construct, run,
+//     read counters — the unit of work every sweep and every smtsimd
+//     request pays. Measured both unpooled (pipeline.New each run) and
+//     pooled (pipeline.Acquire/Release recycling one shell), so the
+//     JSON records what machine reuse is worth.
+//
+// A prior snapshot passed via -baseline is embedded verbatim, making
+// the committed file a before/after trajectory rather than a single
+// point.
+//
+// Usage:
+//
+//	simbench -out BENCH_PR6.json -baseline docs/bench-baseline-pr6.json
+//	simbench -quick          # reduced iterations for CI smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/buildinfo"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// cell is one (mix, threads) measurement.
+type cell struct {
+	Mix     string    `json:"mix"`
+	Threads int       `json:"threads"`
+	Core    coreStats `json:"core"`
+	Run     runStats  `json:"single_run"`
+}
+
+type coreStats struct {
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	AllocsPerKCyc  float64 `json:"allocs_per_kcycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	SimIPC         float64 `json:"sim_ipc"`
+	MeasuredCycles int64   `json:"measured_cycles"`
+}
+
+type runStats struct {
+	CyclesPerRun  int64   `json:"cycles_per_run"`
+	UnpooledNs    float64 `json:"unpooled_ns_per_run"`
+	UnpooledAlloc int64   `json:"unpooled_allocs_per_run"`
+	PooledNs      float64 `json:"pooled_ns_per_run"`
+	PooledAlloc   int64   `json:"pooled_allocs_per_run"`
+	PooledSpeedup float64 `json:"pooled_speedup"`
+}
+
+type report struct {
+	Version  string          `json:"version"`
+	Go       string          `json:"go"`
+	GOARCH   string          `json:"goarch"`
+	Command  string          `json:"command"`
+	Cells    []cell          `json:"cells"`
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+}
+
+func main() {
+	testing.Init() // registers -test.benchtime, which drives testing.Benchmark
+	var (
+		out      = flag.String("out", "", "write JSON here instead of stdout")
+		baseline = flag.String("baseline", "", "embed this prior snapshot JSON under \"baseline\"")
+		mixesF   = flag.String("mixes", "kitchen-sink,mixed-lowipc,fp-stream", "comma-separated mix names")
+		threadsF = flag.String("threads", "4,8", "comma-separated thread counts")
+		runCyc   = flag.Int64("runcycles", 20000, "cycles per single_run measurement")
+		quick    = flag.Bool("quick", false, "reduced iteration counts (CI smoke)")
+	)
+	flag.Parse()
+
+	coreIters, runIters := "1000000x", "50x"
+	if *quick {
+		coreIters, runIters = "50000x", "5x"
+	}
+
+	var threads []int
+	for _, s := range strings.Split(*threadsF, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 || n > 8 {
+			fatalf("bad -threads entry %q", s)
+		}
+		threads = append(threads, n)
+	}
+
+	rep := report{
+		Version: buildinfo.Version(),
+		Go:      runtime.Version(),
+		GOARCH:  runtime.GOARCH,
+		Command: strings.Join(os.Args, " "),
+	}
+	for _, mixName := range strings.Split(*mixesF, ",") {
+		mixName = strings.TrimSpace(mixName)
+		if _, ok := trace.MixByName(mixName); !ok {
+			fatalf("unknown mix %q", mixName)
+		}
+		for _, n := range threads {
+			fmt.Fprintf(os.Stderr, "simbench: %s x %d threads\n", mixName, n)
+			c := cell{Mix: mixName, Threads: n}
+			c.Core = measureCore(mixName, n, coreIters)
+			c.Run = measureSingleRun(mixName, n, *runCyc, runIters)
+			rep.Cells = append(rep.Cells, c)
+		}
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !json.Valid(raw) {
+			fatalf("baseline %s is not valid JSON", *baseline)
+		}
+		rep.Baseline = json.RawMessage(raw)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "simbench: wrote %s\n", *out)
+}
+
+// measureCore times the warm steady-state cycle loop: b.N cycles on one
+// machine, exactly the regime the allocation regression test pins.
+func measureCore(mixName string, threads int, iters string) coreStats {
+	setBenchtime(iters)
+	var ipc float64
+	var cycles int64
+	res := testing.Benchmark(func(b *testing.B) {
+		mix, _ := trace.MixByName(mixName)
+		progs, err := mix.Programs(threads, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := pipeline.New(pipeline.DefaultConfig(), progs, 1)
+		m.Run(8192) // warm: queues full, caches and predictors populated
+		b.ReportAllocs()
+		b.ResetTimer()
+		m.Run(int64(b.N))
+		b.StopTimer()
+		ipc = m.AggregateIPC()
+		cycles = int64(b.N)
+	})
+	ns := float64(res.NsPerOp())
+	return coreStats{
+		NsPerCycle:     ns,
+		CyclesPerSec:   1e9 / ns,
+		AllocsPerKCyc:  1000 * float64(res.MemAllocs) / float64(res.N),
+		BytesPerCycle:  float64(res.MemBytes) / float64(res.N),
+		SimIPC:         ipc,
+		MeasuredCycles: cycles,
+	}
+}
+
+// measureSingleRun times one simulation end to end, construction
+// included. Programs are regenerated every iteration in both variants —
+// a machine consumes the programs it runs — so the generator cost
+// cancels out of the pooled/unpooled comparison.
+func measureSingleRun(mixName string, threads int, cycles int64, iters string) runStats {
+	mix, _ := trace.MixByName(mixName)
+	cfg := pipeline.DefaultConfig()
+
+	setBenchtime(iters)
+	unpooled := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			progs, err := mix.Programs(threads, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := pipeline.New(cfg, progs, 1)
+			m.Run(cycles)
+			if m.TotalCommitted() == 0 {
+				b.Fatal("no instructions committed")
+			}
+		}
+	})
+
+	// The pooled variant is the batch path as a sweep uses it: machine
+	// shells recycled through pipeline.RunMany, instruction streams
+	// replayed from the shared trace cache. Recording the trace is a
+	// one-time cost paid before the timed region — a sweep pays it on
+	// its first run and never again — so the cell reports steady state.
+	if _, err := trace.CachedPrograms(mixName, threads, 1, int(cycles)); err != nil {
+		fatalf("%v", err)
+	}
+	setBenchtime(iters)
+	pooled := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			progs, err := trace.CachedPrograms(mixName, threads, 1, int(cycles))
+			if err != nil {
+				b.Fatal(err)
+			}
+			work := []pipeline.Workload{{Programs: progs, Seed: 1, Cycles: cycles}}
+			pipeline.RunMany(cfg, work, func(_ int, m *pipeline.Machine) {
+				if m.TotalCommitted() == 0 {
+					b.Fatal("no instructions committed")
+				}
+			})
+		}
+	})
+
+	up, pn := float64(unpooled.NsPerOp()), float64(pooled.NsPerOp())
+	return runStats{
+		CyclesPerRun:  cycles,
+		UnpooledNs:    up,
+		UnpooledAlloc: int64(unpooled.AllocsPerOp()),
+		PooledNs:      pn,
+		PooledAlloc:   int64(pooled.AllocsPerOp()),
+		PooledSpeedup: up / pn,
+	}
+}
+
+// setBenchtime points testing.Benchmark at a fixed iteration count so
+// wall time is bounded and the simulated work is reproducible.
+func setBenchtime(iters string) {
+	if err := flag.Set("test.benchtime", iters); err != nil {
+		fatalf("set benchtime: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/pipeline"
+	"repro/internal/profiling"
 	"repro/internal/simrun"
 )
 
@@ -42,12 +43,19 @@ func main() {
 		csvPath   = flag.String("csv", "", "write the per-quantum series (quantum, policy, IPC) as CSV to this file")
 		verbose   = flag.Bool("v", false, "print per-thread detail")
 		version   = flag.Bool("version", false, "print version and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("smtsim"))
 		return
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	req := simrun.Request{
 		Mix:         *mix,

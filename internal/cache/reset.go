@@ -1,0 +1,49 @@
+package cache
+
+// This file provides in-place reuse for caches and hierarchies: Reset
+// restores the just-constructed (all-invalid) state and CopyFrom
+// overwrites contents with another instance's, both without allocating.
+// The pipeline uses them for machine pooling (Machine.Reset) and the
+// oracle's scratch-clone path (Machine.CloneInto).
+
+// Reset invalidates every block and zeroes all statistics. It does not
+// touch the next level; callers resetting a hierarchy reset each level.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	for i := range c.stats {
+		c.stats[i] = Stats{}
+	}
+}
+
+// CopyFrom overwrites c's contents and statistics with src's. The next
+// level is untouched (sharing structure is the caller's to manage).
+// Geometries must match.
+func (c *Cache) CopyFrom(src *Cache) {
+	if c.cfg.Sets != src.cfg.Sets || c.cfg.Ways != src.cfg.Ways || len(c.stats) != len(src.stats) {
+		panic("cache: CopyFrom geometry mismatch")
+	}
+	copy(c.tags, src.tags)
+	copy(c.lru, src.lru)
+	copy(c.stats, src.stats)
+}
+
+// Reset restores every level of the hierarchy to its just-built state.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.Mem.Accesses = 0
+}
+
+// CopyFrom overwrites h's state with src's, level by level. The sharing
+// structure (both L1s over h's own L2) is preserved; only contents move.
+func (h *Hierarchy) CopyFrom(src *Hierarchy) {
+	h.L1I.CopyFrom(src.L1I)
+	h.L1D.CopyFrom(src.L1D)
+	h.L2.CopyFrom(src.L2)
+	h.Mem.Lat = src.Mem.Lat
+	h.Mem.Accesses = src.Mem.Accesses
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/dtvm"
 	"repro/internal/policy"
+	"repro/internal/trace"
 )
 
 func short(mix string) Config {
@@ -262,5 +263,38 @@ func TestKernelDryRunCatchesBrokenKernels(t *testing.T) {
 	cfg.Kernel = prog
 	if _, err := NewSimulator(cfg); err == nil {
 		t.Fatal("runaway kernel accepted")
+	}
+}
+
+// TestRunManyMatchesIndividual pins the batch seam: a policy sweep over
+// one workload through RunMany (pooled shells + cached traces) must
+// produce exactly the results of independent Simulators.
+func TestRunManyMatchesIndividual(t *testing.T) {
+	trace.FlushTraceCache()
+	defer trace.FlushTraceCache()
+
+	var cfgs []Config
+	for _, p := range []policy.Policy{policy.ICOUNT, policy.RR, policy.BRCOUNT} {
+		cfg := DefaultConfig("kitchen-sink")
+		cfg.Quanta = 4
+		cfg.FixedPolicy = p
+		cfgs = append(cfgs, cfg)
+	}
+
+	batch, err := RunMany(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sim.Run()
+		sim.Close()
+		if batch[i].AggregateIPC != res.AggregateIPC || batch[i].Committed != res.Committed {
+			t.Fatalf("config %d (%s): RunMany IPC=%v committed=%d, individual IPC=%v committed=%d",
+				i, cfg.FixedPolicy, batch[i].AggregateIPC, batch[i].Committed, res.AggregateIPC, res.Committed)
+		}
 	}
 }

@@ -29,16 +29,25 @@ func DefaultCandidates() []policy.Policy {
 // it achieved. Ties go to the earliest candidate, so ICOUNT (first in
 // DefaultCandidates) wins when policies are indistinguishable.
 func BestPolicy(m *pipeline.Machine, quantum int64, candidates []policy.Policy) (best policy.Policy, bestCommitted uint64) {
+	return BestPolicyInto(m, m.Clone(), quantum, candidates)
+}
+
+// BestPolicyInto is BestPolicy evaluating candidates on scratch, a
+// machine with m's geometry (typically m.Clone() made once and reused
+// across quantum boundaries). Each candidate overwrites scratch in
+// place via CloneInto, so the steady-state evaluation allocates
+// nothing.
+func BestPolicyInto(m, scratch *pipeline.Machine, quantum int64, candidates []policy.Policy) (best policy.Policy, bestCommitted uint64) {
 	if len(candidates) == 0 {
 		panic("oracle: no candidate policies")
 	}
 	first := true
 	for _, cand := range candidates {
-		c := m.Clone()
-		c.SetPolicy(cand)
-		base := c.TotalCommitted()
-		c.Run(quantum)
-		gain := c.TotalCommitted() - base
+		m.CloneInto(scratch)
+		scratch.SetPolicy(cand)
+		base := scratch.TotalCommitted()
+		scratch.Run(quantum)
+		gain := scratch.TotalCommitted() - base
 		if first || gain > bestCommitted {
 			best, bestCommitted, first = cand, gain, false
 		}
@@ -54,6 +63,10 @@ type Scheduler struct {
 
 	Switches uint64 // quantum boundaries where the policy changed
 	Quanta   uint64
+
+	// scratch is the reusable evaluation machine, cloned lazily from
+	// the first machine Step sees and overwritten per candidate.
+	scratch *pipeline.Machine
 }
 
 // NewScheduler returns an oracle scheduler with the default candidate
@@ -62,10 +75,23 @@ func NewScheduler(quantum int64) *Scheduler {
 	return &Scheduler{Quantum: quantum, Candidates: DefaultCandidates()}
 }
 
+// Close releases the scratch evaluation machine to the pipeline shell
+// pool. The scheduler may be used again after Close (a new scratch is
+// cloned lazily), but callers normally close once, when done.
+func (s *Scheduler) Close() {
+	if s.scratch != nil {
+		pipeline.Release(s.scratch)
+		s.scratch = nil
+	}
+}
+
 // Step selects the best policy for the next quantum, engages it on m,
 // and runs the quantum. It returns the chosen policy.
 func (s *Scheduler) Step(m *pipeline.Machine) policy.Policy {
-	best, _ := BestPolicy(m, s.Quantum, s.Candidates)
+	if s.scratch == nil {
+		s.scratch = m.Clone()
+	}
+	best, _ := BestPolicyInto(m, s.scratch, s.Quantum, s.Candidates)
 	if best != m.Policy() {
 		s.Switches++
 	}

@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestCycleSteadyStateAllocationFree is the allocation regression gate:
+// once a machine is warm, advancing cycles must never touch the
+// allocator. Every per-cycle structure (event buckets, fetch rings,
+// issue-queue slots, order scratch) is preallocated at construction, so
+// any allocation here is a regression — and, because Go benchmarks GC
+// between iterations, also a direct throughput loss.
+func TestCycleSteadyStateAllocationFree(t *testing.T) {
+	m := testMachine(t, "kitchen-sink", 8, nil)
+	m.Run(16384) // warm: queues full, caches and predictors populated
+
+	if n := testing.AllocsPerRun(32, func() { m.Run(256) }); n != 0 {
+		t.Fatalf("steady-state Run(256) allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestCloneIntoAllocationFree pins the oracle's per-candidate cost:
+// overwriting an existing scratch machine must be allocation-free in
+// steady state (the scratch's slabs absorb everything).
+func TestCloneIntoAllocationFree(t *testing.T) {
+	m := testMachine(t, "kitchen-sink", 8, nil)
+	m.Run(16384)
+	scratch := m.Clone()
+
+	if n := testing.AllocsPerRun(32, func() { m.CloneInto(scratch) }); n != 0 {
+		t.Fatalf("CloneInto allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestCloneAllocationsBounded keeps full Clone (shell construction +
+// state copy) from quietly regressing toward per-structure allocation
+// churn. The bound is loose — it guards the arena-style construction,
+// not an exact count.
+func TestCloneAllocationsBounded(t *testing.T) {
+	m := testMachine(t, "kitchen-sink", 8, nil)
+	m.Run(16384)
+
+	const maxAllocs = 120
+	if n := testing.AllocsPerRun(8, func() { _ = m.Clone() }); n > maxAllocs {
+		t.Fatalf("Clone allocated %.1f times per run, want <= %d", n, maxAllocs)
+	}
+}
+
+// TestAcquireResetMatchesNew is the property machine pooling rests on:
+// a recycled shell, Reset to a workload, must replay byte-identically
+// to a freshly constructed machine — even when the shell previously ran
+// a different workload, seed and policy.
+func TestAcquireResetMatchesNew(t *testing.T) {
+	mixA, _ := trace.MixByName("kitchen-sink")
+	progsA, err := mixA.Programs(8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independent generations of workload B: programs are consumed
+	// by the machine that runs them.
+	mixB, _ := trace.MixByName("int-memory")
+	progsB1, err := mixB.Programs(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progsB2, err := mixB.Programs(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+
+	fresh := New(cfg, progsB1, 3)
+	fresh.Run(30000)
+
+	// Dirty a shell thoroughly on workload A, then reset it to B.
+	recycled := New(cfg, progsA, 7)
+	recycled.Run(25000)
+	recycled.Reset(progsB2, 3)
+	recycled.Run(30000)
+
+	if fresh.TotalCommitted() != recycled.TotalCommitted() {
+		t.Fatalf("reset shell diverged from fresh machine: %d vs %d committed",
+			fresh.TotalCommitted(), recycled.TotalCommitted())
+	}
+	for i := 0; i < fresh.NumThreads(); i++ {
+		if fresh.State(i).Cum != recycled.State(i).Cum {
+			t.Fatalf("thread %d: counters diverged:\nfresh    %+v\nrecycled %+v",
+				i, fresh.State(i).Cum, recycled.State(i).Cum)
+		}
+		if fresh.State(i).Live != recycled.State(i).Live {
+			t.Fatalf("thread %d: gauges diverged", i)
+		}
+	}
+	if err := recycled.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedTraceMatchesFresh: a machine fed replay-backed programs
+// must be byte-identical to one generating its stream live — counters,
+// gauges and invariants — including past the recorded prefix, where the
+// replay program switches back to live generation mid-run.
+func TestCachedTraceMatchesFresh(t *testing.T) {
+	trace.FlushTraceCache()
+	defer trace.FlushTraceCache()
+
+	mix, _ := trace.MixByName("kitchen-sink")
+	fresh, err := mix.Programs(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short prefix forces every thread across the replay/live boundary
+	// well before the run ends.
+	cached, err := trace.CachedPrograms("kitchen-sink", 8, 5, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+
+	a := New(cfg, fresh, 5)
+	a.Run(40000)
+	b := New(cfg, cached, 5)
+	b.Run(40000)
+
+	if a.TotalCommitted() != b.TotalCommitted() {
+		t.Fatalf("cached-trace machine diverged: %d vs %d committed",
+			a.TotalCommitted(), b.TotalCommitted())
+	}
+	for i := 0; i < a.NumThreads(); i++ {
+		if a.State(i).Cum != b.State(i).Cum {
+			t.Fatalf("thread %d: counters diverged:\nfresh  %+v\ncached %+v",
+				i, a.State(i).Cum, b.State(i).Cum)
+		}
+		if a.State(i).Live != b.State(i).Live {
+			t.Fatalf("thread %d: gauges diverged", i)
+		}
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunManyMatchesIndividualRuns: the batch path must produce exactly
+// the machines a loop of New+Run would, while reusing one shell.
+func TestRunManyMatchesIndividualRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	names := []string{"kitchen-sink", "int-memory", "kitchen-sink"}
+	// Programs are consumed by the machine that runs them (New binds the
+	// caller's pointers), so each leg generates its own.
+	gen := func(name string) []*trace.Program {
+		mix, ok := trace.MixByName(name)
+		if !ok {
+			t.Fatalf("unknown mix %s", name)
+		}
+		progs, err := mix.Programs(8, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return progs
+	}
+
+	work := make([]Workload, len(names))
+	for i, name := range names {
+		work[i] = Workload{Programs: gen(name), Seed: 11, Cycles: 20000}
+	}
+	batch := make([]uint64, len(work))
+	RunMany(cfg, work, func(i int, m *Machine) { batch[i] = m.TotalCommitted() })
+
+	for i, name := range names {
+		m := New(cfg, gen(name), 11)
+		m.Run(work[i].Cycles)
+		if got := m.TotalCommitted(); batch[i] != got {
+			t.Fatalf("workload %d: RunMany committed %d, individual run %d", i, batch[i], got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 )
@@ -23,8 +24,20 @@ func (m *Machine) Cycle() {
 	m.fetch()
 	m.now++
 	if m.now&255 == 0 {
-		for _, t := range m.threads {
-			t.st.AccIPC = float64(t.st.Cum.Committed) / float64(m.now)
+		m.updateAccIPC()
+	}
+}
+
+// updateAccIPC refreshes each thread's accumulated-IPC estimate every
+// 256 cycles. Threads whose committed count has not moved keep their
+// previous estimate, skipping the division; the range over threads
+// lives here, out of Cycle's hot straight-line path.
+func (m *Machine) updateAccIPC() {
+	den := float64(m.now)
+	for _, t := range m.threads {
+		if c := t.st.Cum.Committed; c != t.accCommitted {
+			t.accCommitted = c
+			t.st.AccIPC = float64(c) / den
 		}
 	}
 }
@@ -119,9 +132,9 @@ func (m *Machine) fetchThread(t *thread, slots int) int {
 
 	// I-cache access for this block. The detector thread never reaches
 	// this path: its code lives in a private program cache.
-	iBlock := pc / uint64(m.cfg.ICacheBlockWords)
+	iBlock := m.iBlockOf(pc)
 	if iBlock+1 != t.lastIBlock {
-		lat, miss := m.hier.L1I.Access(t.id, pc*4, false)
+		lat, miss := m.l1i.Access(t.id, pc*4, false)
 		t.lastIBlock = iBlock + 1
 		if miss {
 			t.st.Cum.L1IMisses++
@@ -133,21 +146,22 @@ func (m *Machine) fetchThread(t *thread, slots int) int {
 		}
 	}
 
-	fetchBlock := pc / uint64(m.cfg.FetchBlock)
+	fetchBlock := m.fetchBlockOf(pc)
 	n := 0
 	for n < slots {
 		pc = m.fetchPC(t)
-		if pc/uint64(m.cfg.FetchBlock) != fetchBlock {
+		if m.fetchBlockOf(pc) != fetchBlock {
 			break // cache-block boundary: the next thread gets the slots
 		}
-		if pc/uint64(m.cfg.ICacheBlockWords)+1 != t.lastIBlock {
+		if m.iBlockOf(pc)+1 != t.lastIBlock {
 			break // crossed into an unchecked I-cache block
 		}
 		if m.ifqTotal >= m.cfg.IFQSize {
 			break
 		}
 		in, wrong, mispred := m.nextInst(t)
-		t.ifq = append(t.ifq, fetchEntry{inst: in, fetchedAt: m.now, wrong: wrong, mispred: mispred})
+		t.ifq[t.ifqTail&t.ifqMask] = fetchEntry{inst: in, fetchedAt: m.now, wrong: wrong, mispred: mispred}
+		t.ifqTail++
 		m.ifqTotal++
 		n++
 
@@ -192,7 +206,12 @@ func (m *Machine) nextInst(t *thread) (in isa.Inst, wrong, mispred bool) {
 	t.hasPending = false
 
 	if in.Class == isa.Branch {
-		predTaken := m.pred.Predict(t.id, in.PC)
+		var predTaken bool
+		if h := m.predHybrid; h != nil {
+			predTaken = h.Predict(t.id, in.PC)
+		} else {
+			predTaken = m.pred.Predict(t.id, in.PC)
+		}
 		var predTarget uint64
 		if predTaken {
 			tgt, hit := m.btb.Lookup(t.id, in.PC)
@@ -227,8 +246,15 @@ func (m *Machine) dispatch() {
 	start := m.renameCursor
 	m.renameCursor = (m.renameCursor + 1) % n
 	for i := 0; i < n && budget > 0; i++ {
-		t := m.threads[(start+i)%n]
-		for budget > 0 && len(t.ifq) > 0 {
+		j := start + i
+		if j >= n {
+			j -= n
+		}
+		t := m.threads[j]
+		if t.dispHoldUntil > m.now {
+			continue // head of the fetch buffer is still in decode
+		}
+		for budget > 0 && t.ifqTail != t.ifqHead {
 			if !m.dispatchOne(t) {
 				break
 			}
@@ -240,8 +266,9 @@ func (m *Machine) dispatch() {
 // dispatchOne tries to dispatch t's oldest fetched instruction,
 // reporting whether it moved.
 func (m *Machine) dispatchOne(t *thread) bool {
-	fe := &t.ifq[0]
-	if fe.fetchedAt+int64(m.cfg.DecodeDelay) > m.now {
+	fe := &t.ifq[t.ifqHead&t.ifqMask]
+	if ready := fe.fetchedAt + int64(m.cfg.DecodeDelay); ready > m.now {
+		t.dispHoldUntil = ready
 		return false // still in the decode pipe
 	}
 	cls := fe.inst.Class
@@ -252,10 +279,10 @@ func (m *Machine) dispatchOne(t *thread) bool {
 		return false
 	}
 	if usesFPQ {
-		if len(m.fpIQ) >= m.cfg.FPIQSize {
+		if m.fpIQ.count >= m.cfg.FPIQSize {
 			return false
 		}
-	} else if len(m.intIQ) >= m.cfg.IntIQSize {
+	} else if m.intIQ.count >= m.cfg.IntIQSize {
 		return false
 	}
 	if fe.inst.HasDst {
@@ -288,11 +315,34 @@ func (m *Machine) dispatchOne(t *thread) bool {
 		lsqHeld: isMem,
 	}
 	t.genCtr++
+	ready := int64(0)
+	dep1, dep2 := int16(-1), int16(-1)
 	if fe.wrong {
 		// Synthetic wrong-path readiness: a short dependency chain.
 		e.readyAt = m.now + 1 + int64(fe.inst.Dep1&3)
+		ready = e.readyAt
 	} else {
 		t.doneAt[fe.inst.Seq%doneRing] = pending
+		if d := fe.inst.Dep1; d != 0 && d <= maxDepWindow {
+			if p := fe.inst.Seq - uint64(d); p >= 1 {
+				ri := p % doneRing
+				if v := t.doneAt[ri]; v == pending {
+					dep1 = int16(ri)
+				} else if v > ready {
+					ready = v
+				}
+			}
+		}
+		if d := fe.inst.Dep2; d != 0 && d <= maxDepWindow {
+			if p := fe.inst.Seq - uint64(d); p >= 1 {
+				ri := p % doneRing
+				if v := t.doneAt[ri]; v == pending {
+					dep2 = int16(ri)
+				} else if v > ready {
+					ready = v
+				}
+			}
+		}
 	}
 
 	if fe.inst.HasDst {
@@ -306,20 +356,18 @@ func (m *Machine) dispatchOne(t *thread) bool {
 		m.lsqUsed++
 		t.st.Live.LSQ++
 	}
-	qe := iqEntry{tid: int8(t.id), robIdx: idx, gen: e.gen}
+	w := iqWait{readyAt: ready, dep1Idx: dep1, dep2Idx: dep2, tid: int8(t.id)}
+	r := iqRef{robIdx: idx, gen: e.gen}
 	if usesFPQ {
-		m.fpIQ = append(m.fpIQ, qe)
+		m.fpIQ.push(w, r, dep1 >= 0 || dep2 >= 0)
 	} else {
-		m.intIQ = append(m.intIQ, qe)
+		m.intIQ.push(w, r, dep1 >= 0 || dep2 >= 0)
 	}
 	t.st.Live.IQ++
 	t.st.Live.ROB++
 
 	// Pop from the fetch buffer.
-	t.ifq = t.ifq[1:]
-	if len(t.ifq) == 0 {
-		t.ifq = nil
-	}
+	t.ifqHead++
 	m.ifqTotal--
 	return true
 }
@@ -330,6 +378,11 @@ func (m *Machine) dispatchOne(t *thread) bool {
 // each queue (integer queue first, matching SimpleSMT's split queues).
 // Leftover issue bandwidth executes detector-thread work.
 func (m *Machine) issue() {
+	active := m.activeTids // filled by processCompletions this cycle
+	if len(active) > 0 {
+		m.resolveQueue(&m.intIQ, active)
+		m.resolveQueue(&m.fpIQ, active)
+	}
 	budget := m.cfg.IssueWidth
 	m.issueQueue(&m.intIQ, &budget)
 	m.issueQueue(&m.fpIQ, &budget)
@@ -349,42 +402,92 @@ func (m *Machine) issue() {
 	}
 }
 
-func (m *Machine) issueQueue(q *[]iqEntry, budget *int) {
-	queue := *q
-	w := 0
-	for r := 0; r < len(queue); r++ {
-		qe := queue[r]
-		t := m.threads[qe.tid]
-		e := t.entry(qe.robIdx)
-		if e.gen != qe.gen || e.state != sWaiting {
-			continue // squashed: drop the entry
+// resolveQueue folds newly-finite producer completion cycles into
+// waiting slots. Dependencies are same-thread, so only slots belonging
+// to a context that completed an instruction this very cycle can have
+// made progress — the pass polls exactly those (via the per-context
+// unres masks) and never touches any other waiting slot. It runs every
+// cycle regardless of issue budget: the completion signal is this-cycle
+// only, so a skipped pass could strand a slot as unresolved forever.
+// Resolution is pure caching (doneAt values are immutable once finite),
+// so resolving eagerly here is behaviour-identical to the former poll
+// inside the issue scan.
+func (m *Machine) resolveQueue(q *issueQ, active []int8) {
+	doneArena := m.doneArena
+	for wi := 0; wi < q.words; wi++ {
+		var poll uint64
+		for _, tid := range active {
+			poll |= q.unresW[int(tid)*q.words+wi]
 		}
-		if *budget == 0 || !m.ready(t, e) || !m.tryIssue(t, e, qe.robIdx) {
-			queue[w] = qe
-			w++
-			continue
+		for poll != 0 {
+			b := bits.TrailingZeros64(poll)
+			poll &= poll - 1
+			i := wi<<6 | b
+			s := &q.wait[i]
+			base := int(s.tid) << doneRingShift
+			resolved := true
+			if s.dep1Idx >= 0 {
+				if v := doneArena[base|int(s.dep1Idx)]; v == pending {
+					resolved = false // producer still executing
+				} else {
+					if v > s.readyAt {
+						s.readyAt = v
+					}
+					s.dep1Idx = -1
+				}
+			}
+			if s.dep2Idx >= 0 {
+				if v := doneArena[base|int(s.dep2Idx)]; v == pending {
+					resolved = false
+				} else {
+					if v > s.readyAt {
+						s.readyAt = v
+					}
+					s.dep2Idx = -1
+				}
+			}
+			if resolved {
+				q.unres[s.tid][wi] &^= 1 << uint(b)
+			}
 		}
-		*budget--
 	}
-	*q = queue[:w]
 }
 
-// ready reports whether e's operands are available.
-func (m *Machine) ready(t *thread, e *robEntry) bool {
-	if e.wrong {
-		return m.now >= e.readyAt
-	}
-	if d := e.inst.Dep1; d != 0 && d <= maxDepWindow {
-		if p := e.inst.Seq - uint64(d); p >= 1 && t.doneAt[p%doneRing] > m.now {
-			return false
+// issueQueue walks the queue's resolved slots oldest-entry-first (slot
+// order is age order), issuing ready instructions until the budget runs
+// out. Slots with an executing producer are masked out wholesale — each
+// visited slot costs one load and one compare against its cached
+// readiness cycle, and the ROB entry is only ever loaded for slots that
+// actually issue.
+func (m *Machine) issueQueue(q *issueQ, budget *int) {
+	now := m.now
+	for wi := 0; wi < q.words && *budget > 0; wi++ {
+		word := q.occ[wi]
+		if word == 0 {
+			continue
+		}
+		for o := wi; o < len(q.unresW); o += q.words {
+			word &^= q.unresW[o]
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			i := wi<<6 | b
+			s := &q.wait[i]
+			if s.readyAt > now {
+				continue
+			}
+			t := m.threads[s.tid]
+			robIdx := q.ref[i].robIdx
+			if !m.tryIssue(t, t.entry(robIdx), robIdx) {
+				continue
+			}
+			q.clear(i)
+			if *budget--; *budget == 0 {
+				return
+			}
 		}
 	}
-	if d := e.inst.Dep2; d != 0 && d <= maxDepWindow {
-		if p := e.inst.Seq - uint64(d); p >= 1 && t.doneAt[p%doneRing] > m.now {
-			return false
-		}
-	}
-	return true
 }
 
 // tryIssue claims a functional unit (and the D-cache for memory ops) and
@@ -413,12 +516,12 @@ func (m *Machine) tryIssue(t *thread, e *robEntry, robIdx uint64) bool {
 	case isa.Load:
 		// MSHR admission: a load that would miss cannot issue while
 		// all miss-status registers are busy (it retries next cycle).
-		if m.cfg.MSHRs > 0 && m.dMissTotal >= m.cfg.MSHRs && !m.hier.L1D.Probe(e.inst.Addr) {
+		if m.cfg.MSHRs > 0 && m.dMissTotal >= m.cfg.MSHRs && !m.l1d.Probe(e.inst.Addr) {
 			t.st.Cum.MSHRFull++
 			units[unit] = m.now // release the claimed port
 			return false
 		}
-		dlat, miss := m.hier.L1D.Access(t.id, e.inst.Addr, false)
+		dlat, miss := m.l1d.Access(t.id, e.inst.Addr, false)
 		lat += int64(dlat)
 		if miss {
 			t.st.Cum.L1DMisses++
@@ -429,7 +532,7 @@ func (m *Machine) tryIssue(t *thread, e *robEntry, robIdx uint64) bool {
 	case isa.Store:
 		// The store buffer hides store latency from the pipeline; the
 		// cache sees the write (and any miss traffic) now.
-		_, miss := m.hier.L1D.Access(t.id, e.inst.Addr, true)
+		_, miss := m.l1d.Access(t.id, e.inst.Addr, true)
 		if miss {
 			t.st.Cum.L1DMisses++
 		}
@@ -441,8 +544,8 @@ func (m *Machine) tryIssue(t *thread, e *robEntry, robIdx uint64) bool {
 	if e.completeAt-m.now >= eventRing {
 		panic(fmt.Sprintf("pipeline: completion latency %d exceeds event ring", e.completeAt-m.now))
 	}
-	m.events[e.completeAt%eventRing] = append(m.events[e.completeAt%eventRing],
-		event{tid: int8(t.id), robIdx: robIdx, gen: e.gen})
+	bi := uint64(e.completeAt) & (eventRing - 1)
+	m.events[bi] = append(m.events[bi], event{tid: int8(t.id), robIdx: robIdx, gen: e.gen})
 	t.st.Live.IQ--
 	t.st.Live.PreIssue--
 	// BRCOUNT, LDCOUNT and MEMCOUNT count instructions in the pre-issue
@@ -466,7 +569,12 @@ func (m *Machine) tryIssue(t *thread, e *robEntry, robIdx uint64) bool {
 // expires this cycle: wakes dependents, resolves branches (training the
 // predictor and squashing wrong paths), and marks entries committable.
 func (m *Machine) processCompletions() {
-	bucket := &m.events[m.now%eventRing]
+	// activeTids collects the contexts that complete an architectural
+	// instruction this cycle — the exact set whose waiting issue-queue
+	// slots can have resolved (dependencies are same-thread), consumed
+	// by issue's resolution pass.
+	m.activeTids = m.activeTids[:0]
+	bucket := &m.events[uint64(m.now)&(eventRing-1)]
 	for _, ev := range *bucket {
 		t := m.threads[ev.tid]
 		e := t.entry(ev.robIdx)
@@ -493,9 +601,17 @@ func (m *Machine) processCompletions() {
 			continue
 		}
 		t.doneAt[in.Seq%doneRing] = m.now
+		if m.lastDone[t.id] != m.now {
+			m.lastDone[t.id] = m.now
+			m.activeTids = append(m.activeTids, int8(t.id))
+		}
 		switch in.Class {
 		case isa.Branch:
-			m.pred.Update(t.id, in.PC, in.Taken)
+			if h := m.predHybrid; h != nil {
+				h.Update(t.id, in.PC, in.Taken)
+			} else {
+				m.pred.Update(t.id, in.PC, in.Taken)
+			}
 			if in.Taken {
 				m.btb.Insert(t.id, in.PC, in.Target)
 			}
@@ -515,8 +631,8 @@ func (m *Machine) processCompletions() {
 // resources wrong-path execution was holding, and redirects fetch.
 func (m *Machine) squashWrongPath(t *thread, brIdx uint64) {
 	// Everything still in the fetch buffer is younger than the branch.
-	for i := range t.ifq {
-		fe := &t.ifq[i]
+	for i := t.ifqHead; i < t.ifqTail; i++ {
+		fe := &t.ifq[i&t.ifqMask]
 		t.st.Live.PreIssue--
 		switch {
 		case fe.inst.Class.IsCtrl():
@@ -529,7 +645,7 @@ func (m *Machine) squashWrongPath(t *thread, brIdx uint64) {
 		}
 		m.ifqTotal--
 	}
-	t.ifq = nil
+	t.ifqHead = t.ifqTail
 
 	for idx := t.robTail; idx > brIdx+1; idx-- {
 		e := t.entry(idx - 1)
@@ -574,20 +690,8 @@ func (m *Machine) squashWrongPath(t *thread, brIdx uint64) {
 	t.robTail = brIdx + 1
 
 	// Purge queue entries referencing squashed slots.
-	purge := func(q *[]iqEntry) {
-		queue := *q
-		w := 0
-		for _, qe := range queue {
-			if int(qe.tid) == t.id && qe.robIdx > brIdx {
-				continue
-			}
-			queue[w] = qe
-			w++
-		}
-		*q = queue[:w]
-	}
-	purge(&m.intIQ)
-	purge(&m.fpIQ)
+	m.intIQ.purgeThread(t.id, brIdx, false)
+	m.fpIQ.purgeThread(t.id, brIdx, false)
 
 	t.wrongPath = false
 	t.wrongPC = 0
@@ -607,8 +711,16 @@ func (m *Machine) commit() {
 	n := len(m.threads)
 	start := m.commitCursor
 	m.commitCursor = (m.commitCursor + 1) % n
-	for i := 0; i < n && budget > 0; i++ {
-		t := m.threads[(start+i)%n]
+	// One pass serves both commit and stall accounting: every thread is
+	// visited even after the budget runs out, because a thread that
+	// commits nothing this cycle while holding ROB entries counts a
+	// quantum stall regardless of why it was starved.
+	for i := 0; i < n; i++ {
+		j := start + i
+		if j >= n {
+			j -= n
+		}
+		t := m.threads[j]
 		c := 0
 		for budget > 0 && t.robCount() > 0 {
 			e := t.entry(t.robHead)
@@ -626,13 +738,9 @@ func (m *Machine) commit() {
 			budget--
 			c++
 		}
-		m.committedNow[(start+i)%n] = c
-	}
-	for i, t := range m.threads {
-		if t.robCount() > 0 && m.committedNow[i] == 0 {
+		if c == 0 && t.robCount() > 0 {
 			t.st.QuantumStalls++
 		}
-		m.committedNow[i] = 0
 	}
 }
 
@@ -663,7 +771,7 @@ func (m *Machine) commitSyscallReady(t *thread) bool {
 func (m *Machine) drainBlockers() int {
 	blockers := 0
 	for _, t := range m.threads {
-		blockers += len(t.ifq)
+		blockers += t.ifqCount()
 		for idx := t.robHead; idx < t.robTail; idx++ {
 			e := t.entry(idx)
 			if idx == t.robHead && e.inst.Class == isa.Syscall && e.state == sDone && !e.wrong {

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/branch"
 	"repro/internal/cache"
@@ -24,6 +25,15 @@ const (
 	// eventRing buckets completion events by cycle; it must exceed the
 	// largest possible completion latency (DRAM + L2 + L1 + FU).
 	eventRing = 256
+
+	// eventBucketCap is the arena-backed capacity of each event bucket.
+	// Buckets that overflow it fall back to ordinary append growth (the
+	// full slice expression below caps the arena slices, so growth can
+	// never clobber a neighbouring bucket). The deepest bucket observed
+	// across every built-in mix over 1M-cycle runs holds 16 events; 32
+	// gives 2x headroom so steady-state execution never grows a bucket
+	// (the allocation regression test enforces this).
+	eventBucketCap = 32
 
 	// pending marks a not-yet-completed instruction in the done ring.
 	pending = math.MaxInt64
@@ -62,12 +72,183 @@ type fetchEntry struct {
 	mispred   bool
 }
 
-// iqEntry references a ROB entry from an instruction queue. gen detects
-// slot reuse after a squash.
-type iqEntry struct {
-	tid    int8
+// iqWait is the hot half of an issue-queue slot: everything the
+// per-cycle readiness scan reads. Sixteen bytes, so a cache line covers
+// four waiting slots.
+//
+// readyAt accumulates the operand-ready cycle as producers resolve:
+// dep1Idx/dep2Idx hold the done-ring indices of producers that were
+// still executing at dispatch (-1 = resolved), and the issue scan folds
+// each producer's completion cycle into readyAt the cycle it becomes
+// finite, clearing the index. Once both indices are -1, readyAt is
+// final and a waiting slot costs the scan one load and one compare —
+// it never touches the ROB entry. Caching ring indices at dispatch is
+// sound because a producer's done-ring slot cannot be overwritten while
+// a consumer is still in flight (the per-thread ROB window is far
+// smaller than the ring).
+type iqWait struct {
+	readyAt int64
+	dep1Idx int16 // done-ring index of an unresolved producer, or -1
+	dep2Idx int16
+	tid     int8
+}
+
+// iqRef is the cold half of a slot: the ROB entry it stands for, read
+// only when the slot actually issues (or on squash/invariant walks). gen
+// detects slot reuse after a squash (defensive: squashes purge their
+// queue entries eagerly, and CheckInvariants asserts queues only hold
+// live waiting entries).
+type iqRef struct {
 	robIdx uint64
 	gen    uint32
+}
+
+// issueQ is a fixed-capacity instruction queue: an age-ordered slot
+// array with a multi-word occupancy bitmask. Slots are claimed at tail
+// in dispatch order and cleared in place on issue, so iterating set bits
+// low-to-high (bits.TrailingZeros64) visits entries oldest first —
+// exactly the order the old compacting linear scan produced. The array
+// is compacted (order-preserving) only when tail reaches physical
+// capacity, which with capacity >= 2x the architectural queue size makes
+// insertion amortized O(1) with zero steady-state allocation.
+type issueQ struct {
+	wait  []iqWait
+	ref   []iqRef
+	occ   []uint64 // one bit per slot; bit set = slot live
+	tail  int      // next insertion index; live bits all lie below tail
+	count int      // number of live slots (the architectural occupancy)
+
+	// unres holds one bitmask per hardware context: bit set = live slot
+	// of that context with an unresolved producer. Dependencies are
+	// always same-thread, so a context's unresolved slots can only make
+	// progress in a cycle where that context completed an instruction —
+	// the resolution pass polls exactly those and skips every other
+	// waiting slot without touching it.
+	unres  [][]uint64
+	words  int      // len(occ)
+	unresW []uint64 // unres[0]..unres[n-1] backing (words*n)
+}
+
+func newIssueQ(size, nthreads int) issueQ {
+	phys := 2 * size
+	if phys < 64 {
+		phys = 64
+	}
+	phys = (phys + 63) &^ 63 // whole occupancy words
+	words := phys / 64
+	q := issueQ{
+		wait:   make([]iqWait, phys),
+		ref:    make([]iqRef, phys),
+		occ:    make([]uint64, words),
+		unres:  make([][]uint64, nthreads),
+		words:  words,
+		unresW: make([]uint64, words*nthreads),
+	}
+	for t := 0; t < nthreads; t++ {
+		q.unres[t] = q.unresW[t*words : (t+1)*words : (t+1)*words]
+	}
+	return q
+}
+
+// push claims the tail slot. unresolved marks slots whose producers are
+// still executing; they join the owning context's resolution mask.
+func (q *issueQ) push(w iqWait, r iqRef, unresolved bool) {
+	if q.tail == len(q.wait) {
+		q.compact()
+	}
+	i := q.tail
+	q.wait[i] = w
+	q.ref[i] = r
+	bit := uint64(1) << (uint(i) & 63)
+	q.occ[i>>6] |= bit
+	if unresolved {
+		q.unres[w.tid][i>>6] |= bit
+	}
+	q.tail++
+	q.count++
+}
+
+// clear releases a slot on issue. Issue implies the slot's producers
+// resolved, so its unres bit is already clear.
+func (q *issueQ) clear(i int) {
+	q.occ[i>>6] &^= 1 << (uint(i) & 63)
+	q.count--
+}
+
+// compact slides live slots down to the front, preserving age order,
+// and rebuilds the occupancy and per-context resolution masks.
+func (q *issueQ) compact() {
+	w := 0
+	for wi, word := range q.occ {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			q.wait[w] = q.wait[wi<<6|b]
+			q.ref[w] = q.ref[wi<<6|b]
+			w++
+		}
+	}
+	for i := range q.occ {
+		q.occ[i] = 0
+	}
+	for i := range q.unresW {
+		q.unresW[i] = 0
+	}
+	for i := 0; i < w>>6; i++ {
+		q.occ[i] = ^uint64(0)
+	}
+	if r := uint(w) & 63; r != 0 {
+		q.occ[w>>6] = 1<<r - 1
+	}
+	for i := 0; i < w; i++ {
+		s := &q.wait[i]
+		if s.dep1Idx >= 0 || s.dep2Idx >= 0 {
+			q.unres[s.tid][i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	q.tail = w
+}
+
+// purgeThread drops this thread's entries: all of them, or only those
+// younger than the after ROB index (wrong-path squash).
+func (q *issueQ) purgeThread(tid int, after uint64, all bool) {
+	unres := q.unres[tid]
+	for wi := range q.occ {
+		word := q.occ[wi]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			i := wi<<6 | b
+			if int(q.wait[i].tid) == tid && (all || q.ref[i].robIdx > after) {
+				q.occ[wi] &^= 1 << uint(b)
+				unres[wi] &^= 1 << uint(b)
+				q.count--
+			}
+		}
+	}
+}
+
+// reset empties the queue without releasing its storage.
+func (q *issueQ) reset() {
+	for i := range q.occ {
+		q.occ[i] = 0
+	}
+	for i := range q.unresW {
+		q.unresW[i] = 0
+	}
+	q.tail = 0
+	q.count = 0
+}
+
+// copyFrom overwrites q's contents with src's. Physical geometries match
+// because both queues were built from the same Config.
+func (q *issueQ) copyFrom(src *issueQ) {
+	copy(q.wait[:src.tail], src.wait[:src.tail])
+	copy(q.ref[:src.tail], src.ref[:src.tail])
+	copy(q.occ, src.occ)
+	copy(q.unresW, src.unresW)
+	q.tail = src.tail
+	q.count = src.count
 }
 
 type event struct {
@@ -92,7 +273,19 @@ type thread struct {
 	blockedByIMiss    bool
 	lastIBlock        uint64 // last I-cache block accessed (+1, 0 = none)
 
-	ifq []fetchEntry // this thread's slice of the shared fetch buffer
+	// dispHoldUntil caches the head fetch-buffer entry's decode-ready
+	// cycle so the dispatch stage can skip a decode-stalled thread
+	// without touching its fetch ring. Monotonicity of fetch times makes
+	// a stale value safe: any entry that later becomes head was fetched
+	// no earlier, so it cannot be decode-ready before the cached cycle.
+	dispHoldUntil int64
+
+	// ifq is this thread's slice of the shared fetch buffer: a fixed
+	// power-of-two ring (slot = index & ifqMask) so steady-state fetch
+	// and dispatch never touch the allocator.
+	ifq              []fetchEntry
+	ifqMask          uint64
+	ifqHead, ifqTail uint64
 
 	rob              []robEntry // ring; physical size is a power of two
 	robMask          uint64     // len(rob) - 1
@@ -101,12 +294,35 @@ type thread struct {
 
 	doneAt []int64 // completion cycles by seq % doneRing
 
+	// accCommitted is Cum.Committed at the last AccIPC refresh, so the
+	// periodic bookkeeping skips the division for idle threads.
+	accCommitted uint64
+
 	st counters.State
+
+	// progVal is machine-owned program storage: Clone/CloneInto copy the
+	// source program value here and point prog at it, so cloning never
+	// allocates a Program and never aliases the source machine's stream.
+	progVal trace.Program
 }
 
 func (t *thread) robCount() int { return int(t.robTail - t.robHead) }
 
 func (t *thread) entry(idx uint64) *robEntry { return &t.rob[idx&t.robMask] }
+
+func (t *thread) ifqCount() int { return int(t.ifqTail - t.ifqHead) }
+
+// copyFrom overwrites t's state with src's, keeping t's own storage.
+func (t *thread) copyFrom(src *thread) {
+	rob, done, ifq := t.rob, t.doneAt, t.ifq
+	*t = *src
+	t.rob, t.doneAt, t.ifq = rob, done, ifq
+	copy(t.rob, src.rob)
+	copy(t.doneAt, src.doneAt)
+	copy(t.ifq, src.ifq)
+	t.progVal = *src.prog
+	t.prog = &t.progVal
+}
 
 // DTStats reports the detector-thread cost model's bookkeeping.
 type DTStats struct {
@@ -130,7 +346,13 @@ type Machine struct {
 	btb  *branch.BTB
 	hier *cache.Hierarchy
 
-	intIQ, fpIQ []iqEntry
+	// predHybrid and the l1i/l1d pointers are devirtualization fast
+	// paths: the hot loops call concrete methods instead of dispatching
+	// through the Predictor interface or re-loading hierarchy fields.
+	predHybrid *branch.Hybrid
+	l1i, l1d   *cache.Cache
+
+	intIQ, fpIQ issueQ
 	ifqTotal    int
 	lsqUsed     int
 	dMissTotal  int // outstanding L1D load misses machine-wide (MSHR occupancy)
@@ -148,8 +370,6 @@ type Machine struct {
 	draining bool
 	drainTid int
 
-	committedNow []int // per-cycle commit scratch for stall accounting
-
 	// Detector-thread job model.
 	dtToFetch     int
 	dtToIssue     int
@@ -160,6 +380,131 @@ type Machine struct {
 
 	statesView []*counters.State
 	orderBuf   []int
+
+	// doneArena backs every thread's done ring contiguously; the issue
+	// scan indexes it as tid<<doneRingShift | ringIdx, skipping the
+	// thread-struct pointer chase on the poll path.
+	doneArena []int64
+
+	// lastDone[tid] is the last cycle context tid completed an
+	// instruction, kept as one compact array (a cache line for typical
+	// context counts) rather than per-thread fields. The issue stage's
+	// resolution pass polls a context's waiting queue slots only in
+	// cycles where its entry equals now: dependencies are same-thread,
+	// so nothing else can have made them ready. activeTids is the
+	// per-cycle scratch list of such contexts.
+	lastDone   []int64
+	activeTids []int8
+
+	// fbShift/icShift strength-reduce the per-instruction fetch-block
+	// and I-cache-block divisions to shifts when the configured sizes
+	// are powers of two (255 = not a power of two, divide).
+	fbShift, icShift uint8
+}
+
+const doneRingShift = 11 // log2(doneRing)
+
+// fetchBlockOf returns pc's fetch-block id.
+func (m *Machine) fetchBlockOf(pc uint64) uint64 {
+	if sh := m.fbShift; sh != 255 {
+		return pc >> sh
+	}
+	return pc / uint64(m.cfg.FetchBlock)
+}
+
+// iBlockOf returns pc's I-cache block id.
+func (m *Machine) iBlockOf(pc uint64) uint64 {
+	if sh := m.icShift; sh != 255 {
+		return pc >> sh
+	}
+	return pc / uint64(m.cfg.ICacheBlockWords)
+}
+
+// newPredictor builds the configured direction predictor.
+func newPredictor(cfg Config, threads int) branch.Predictor {
+	pred, err := branch.NewKind(cfg.PredictorKind, cfg.GShareEntries, cfg.HistoryBits, threads)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.PredictorKind == branch.KindHybrid || cfg.PredictorKind == "" {
+		// The hybrid gets its full three-table geometry.
+		pred = branch.NewHybrid(cfg.BimodalEntries, cfg.GShareEntries, cfg.MetaEntries, cfg.HistoryBits, threads)
+	}
+	return pred
+}
+
+// newShell builds a machine with every structure allocated for n contexts
+// but no programs attached and no wrong-path streams seeded. Arena-style
+// allocation keeps the allocation count low and the per-thread rings
+// cache-adjacent: one backing slab each for the thread structs, ROB
+// rings, done rings, fetch rings, FU reservations and event buckets.
+func newShell(cfg Config, n int) *Machine {
+	m := &Machine{
+		cfg:  cfg,
+		sel:  policy.NewSelector(cfg.InitialPolicy, n),
+		pred: newPredictor(cfg, n),
+		btb:  branch.NewBTB(cfg.BTBSets, cfg.BTBWays),
+		hier: cache.NewHierarchy(cfg.Hierarchy, n),
+	}
+	m.predHybrid, _ = m.pred.(*branch.Hybrid)
+	m.l1i, m.l1d = m.hier.L1I, m.hier.L1D
+
+	m.fbShift, m.icShift = 255, 255
+	if fb := cfg.FetchBlock; fb&(fb-1) == 0 {
+		m.fbShift = uint8(bits.TrailingZeros(uint(fb)))
+	}
+	if ic := cfg.ICacheBlockWords; ic&(ic-1) == 0 {
+		m.icShift = uint8(bits.TrailingZeros(uint(ic)))
+	}
+
+	fuTotal := 0
+	for _, k := range cfg.FUs {
+		fuTotal += k
+	}
+	fuArena := make([]int64, fuTotal)
+	for k := range m.fuBusy {
+		m.fuBusy[k], fuArena = fuArena[:cfg.FUs[k]:cfg.FUs[k]], fuArena[cfg.FUs[k]:]
+	}
+
+	evArena := make([]event, eventRing*eventBucketCap)
+	for i := range m.events {
+		m.events[i] = evArena[i*eventBucketCap : i*eventBucketCap : (i+1)*eventBucketCap]
+	}
+
+	m.intIQ = newIssueQ(cfg.IntIQSize, n)
+	m.fpIQ = newIssueQ(cfg.FPIQSize, n)
+	m.lastDone = make([]int64, n)
+	m.activeTids = make([]int8, 0, n)
+
+	robPhys := 1
+	for robPhys < cfg.ROBPerThr {
+		robPhys <<= 1
+	}
+	ifqPhys := 1
+	for ifqPhys < cfg.IFQSize {
+		ifqPhys <<= 1
+	}
+	threadArena := make([]thread, n)
+	robArena := make([]robEntry, n*robPhys)
+	doneArena := make([]int64, n*doneRing)
+	ifqArena := make([]fetchEntry, n*ifqPhys)
+	m.doneArena = doneArena
+
+	m.threads = make([]*thread, n)
+	m.statesView = make([]*counters.State, n)
+	m.orderBuf = make([]int, n)
+	for i := 0; i < n; i++ {
+		t := &threadArena[i]
+		t.id = i
+		t.rob = robArena[i*robPhys : (i+1)*robPhys : (i+1)*robPhys]
+		t.robMask = uint64(robPhys - 1)
+		t.doneAt = doneArena[i*doneRing : (i+1)*doneRing : (i+1)*doneRing]
+		t.ifq = ifqArena[i*ifqPhys : (i+1)*ifqPhys : (i+1)*ifqPhys]
+		t.ifqMask = uint64(ifqPhys - 1)
+		m.threads[i] = t
+		m.statesView[i] = &t.st
+	}
+	return m
 }
 
 // New builds a machine running the given programs (one per context).
@@ -172,113 +517,143 @@ func New(cfg Config, progs []*trace.Program, seed uint64) *Machine {
 	if len(progs) == 0 {
 		panic("pipeline: need at least one program")
 	}
-	n := len(progs)
-	root := rng.New(seed ^ 0xd1b54a32d192ed03)
-	pred, err := branch.NewKind(cfg.PredictorKind, cfg.GShareEntries, cfg.HistoryBits, n)
-	if err != nil {
-		panic(err)
-	}
-	if cfg.PredictorKind == branch.KindHybrid || cfg.PredictorKind == "" {
-		// The hybrid gets its full three-table geometry.
-		pred = branch.NewHybrid(cfg.BimodalEntries, cfg.GShareEntries, cfg.MetaEntries, cfg.HistoryBits, n)
-	}
-	m := &Machine{
-		cfg:  cfg,
-		sel:  policy.NewSelector(cfg.InitialPolicy, n),
-		pred: pred,
-		btb:  branch.NewBTB(cfg.BTBSets, cfg.BTBWays),
-		hier: cache.NewHierarchy(cfg.Hierarchy, n),
-	}
-	for k := range m.fuBusy {
-		m.fuBusy[k] = make([]int64, cfg.FUs[k])
-	}
-	m.threads = make([]*thread, n)
-	m.statesView = make([]*counters.State, n)
-	m.orderBuf = make([]int, n)
-	m.committedNow = make([]int, n)
-	for i, p := range progs {
-		robPhys := 1
-		for robPhys < cfg.ROBPerThr {
-			robPhys <<= 1
-		}
-		t := &thread{
-			id:      i,
-			prog:    p,
-			wrng:    root.Split(),
-			rob:     make([]robEntry, robPhys),
-			robMask: uint64(robPhys - 1),
-			doneAt:  make([]int64, doneRing),
-		}
-		m.threads[i] = t
-		m.statesView[i] = &t.st
-	}
+	m := newShell(cfg, len(progs))
+	m.attach(progs, seed)
 	return m
+}
+
+// attach binds programs and seeds the wrong-path streams, exactly as New
+// always has: one Split per thread, in thread order.
+func (m *Machine) attach(progs []*trace.Program, seed uint64) {
+	root := rng.New(seed ^ 0xd1b54a32d192ed03)
+	for i, p := range progs {
+		t := m.threads[i]
+		t.prog = p
+		t.wrng = root.Split()
+	}
+}
+
+// Reset restores the machine to the state New(m.Config(), progs, seed)
+// would construct, reusing every allocation. A reset machine replays the
+// exact cycle-for-cycle behaviour of a freshly built one; machine pools
+// rely on that equivalence.
+func (m *Machine) Reset(progs []*trace.Program, seed uint64) {
+	if len(progs) != len(m.threads) {
+		panic("pipeline: Reset with mismatched program count")
+	}
+	m.now = 0
+	m.sel.Reset(m.cfg.InitialPolicy)
+	if !branch.ResetPredictor(m.pred) {
+		m.pred = newPredictor(m.cfg, len(m.threads))
+		m.predHybrid, _ = m.pred.(*branch.Hybrid)
+	}
+	m.btb.Reset()
+	m.hier.Reset()
+
+	m.intIQ.reset()
+	m.fpIQ.reset()
+	for i := range m.lastDone {
+		m.lastDone[i] = 0
+	}
+	m.ifqTotal = 0
+	m.lsqUsed = 0
+	m.dMissTotal = 0
+	m.intRegsUsed = 0
+	m.fpRegsUsed = 0
+	for k := range m.fuBusy {
+		for u := range m.fuBusy[k] {
+			m.fuBusy[k][u] = 0
+		}
+	}
+	for i := range m.events {
+		m.events[i] = m.events[i][:0]
+	}
+	m.commitCursor = 0
+	m.renameCursor = 0
+	m.draining = false
+	m.drainTid = 0
+	m.dtToFetch = 0
+	m.dtToIssue = 0
+	m.dtSwitchArmed = false
+	m.dtSwitchTo = 0
+	m.dtJobStart = 0
+	m.dtStats = DTStats{}
+
+	for _, t := range m.threads {
+		rob, done, ifq := t.rob, t.doneAt, t.ifq
+		id, robMask, ifqMask := t.id, t.robMask, t.ifqMask
+		*t = thread{}
+		t.id = id
+		t.rob, t.robMask = rob, robMask
+		t.doneAt = done
+		t.ifq, t.ifqMask = ifq, ifqMask
+		// The done ring must be clean: ready() consults it for any
+		// dependency inside the window, and a fresh machine sees zeroes.
+		for i := range t.doneAt {
+			t.doneAt[i] = 0
+		}
+	}
+	m.attach(progs, seed)
 }
 
 // Clone returns an independent deep copy. The clone and the original
 // diverge only through future SetPolicy / flag calls — identical inputs
 // replay identical cycles (the oracle scheduler depends on this).
 func (m *Machine) Clone() *Machine {
-	nm := &Machine{
-		cfg:           m.cfg,
-		now:           m.now,
-		sel:           m.sel.Clone(),
-		pred:          m.pred.Clone(),
-		btb:           m.btb.Clone(),
-		hier:          m.hier.Clone(),
-		ifqTotal:      m.ifqTotal,
-		lsqUsed:       m.lsqUsed,
-		dMissTotal:    m.dMissTotal,
-		intRegsUsed:   m.intRegsUsed,
-		fpRegsUsed:    m.fpRegsUsed,
-		commitCursor:  m.commitCursor,
-		renameCursor:  m.renameCursor,
-		draining:      m.draining,
-		drainTid:      m.drainTid,
-		dtToFetch:     m.dtToFetch,
-		dtToIssue:     m.dtToIssue,
-		dtSwitchArmed: m.dtSwitchArmed,
-		dtSwitchTo:    m.dtSwitchTo,
-		dtJobStart:    m.dtJobStart,
-		dtStats:       m.dtStats,
+	nm := newShell(m.cfg, len(m.threads))
+	m.CloneInto(nm)
+	return nm
+}
+
+// CloneInto overwrites dst — a machine of identical geometry, typically
+// a previous Clone — with a deep copy of m, reusing all of dst's
+// storage. It is the oracle's scratch path: per-candidate lookahead with
+// zero steady-state allocation. dst's programs become machine-owned
+// copies; the source machine is never aliased.
+func (m *Machine) CloneInto(dst *Machine) {
+	if dst == m {
+		panic("pipeline: CloneInto self")
 	}
-	nm.intIQ = append([]iqEntry(nil), m.intIQ...)
-	nm.fpIQ = append([]iqEntry(nil), m.fpIQ...)
+	if dst.cfg != m.cfg || len(dst.threads) != len(m.threads) {
+		panic("pipeline: CloneInto geometry mismatch")
+	}
+	dst.now = m.now
+	dst.sel.CopyFrom(m.sel)
+	if !branch.CopyPredictor(dst.pred, m.pred) {
+		dst.pred = m.pred.Clone()
+		dst.predHybrid, _ = dst.pred.(*branch.Hybrid)
+	}
+	dst.btb.CopyFrom(m.btb)
+	dst.hier.CopyFrom(m.hier)
+
+	dst.intIQ.copyFrom(&m.intIQ)
+	dst.fpIQ.copyFrom(&m.fpIQ)
+	copy(dst.lastDone, m.lastDone)
+	dst.ifqTotal = m.ifqTotal
+	dst.lsqUsed = m.lsqUsed
+	dst.dMissTotal = m.dMissTotal
+	dst.intRegsUsed = m.intRegsUsed
+	dst.fpRegsUsed = m.fpRegsUsed
 	for k := range m.fuBusy {
-		nm.fuBusy[k] = append([]int64(nil), m.fuBusy[k]...)
+		copy(dst.fuBusy[k], m.fuBusy[k])
 	}
 	for i := range m.events {
-		nm.events[i] = append([]event(nil), m.events[i]...)
+		dst.events[i] = append(dst.events[i][:0], m.events[i]...)
 	}
-	nm.threads = make([]*thread, len(m.threads))
-	nm.statesView = make([]*counters.State, len(m.threads))
-	nm.orderBuf = make([]int, len(m.orderBuf))
-	nm.committedNow = make([]int, len(m.committedNow))
+	dst.commitCursor = m.commitCursor
+	dst.renameCursor = m.renameCursor
+	dst.draining = m.draining
+	dst.drainTid = m.drainTid
+	dst.dtToFetch = m.dtToFetch
+	dst.dtToIssue = m.dtToIssue
+	dst.dtSwitchArmed = m.dtSwitchArmed
+	dst.dtSwitchTo = m.dtSwitchTo
+	dst.dtJobStart = m.dtJobStart
+	dst.dtStats = m.dtStats
+
 	for i, t := range m.threads {
-		nt := &thread{
-			id:                t.id,
-			robMask:           t.robMask,
-			prog:              t.prog.Clone(),
-			wrng:              t.wrng,
-			pending:           t.pending,
-			hasPending:        t.hasPending,
-			wrongPath:         t.wrongPath,
-			wrongPC:           t.wrongPC,
-			fetchBlockedUntil: t.fetchBlockedUntil,
-			blockedByIMiss:    t.blockedByIMiss,
-			lastIBlock:        t.lastIBlock,
-			robHead:           t.robHead,
-			robTail:           t.robTail,
-			genCtr:            t.genCtr,
-			st:                t.st,
-		}
-		nt.ifq = append([]fetchEntry(nil), t.ifq...)
-		nt.rob = append([]robEntry(nil), t.rob...)
-		nt.doneAt = append([]int64(nil), t.doneAt...)
-		nm.threads[i] = nt
-		nm.statesView[i] = &nt.st
+		dst.threads[i].copyFrom(t)
 	}
-	return nm
 }
 
 // Now returns the current cycle.
@@ -373,7 +748,8 @@ func (m *Machine) CheckInvariants() error {
 	ifqTotal, lsq, intRegs, fpRegs := 0, 0, 0, 0
 	for _, t := range m.threads {
 		preIssue, iq, brs, loads, mem, dmiss, rob, lsqT := 0, 0, 0, 0, 0, 0, 0, 0
-		for _, fe := range t.ifq {
+		for i := t.ifqHead; i < t.ifqTail; i++ {
+			fe := &t.ifq[i&t.ifqMask]
 			preIssue++
 			if fe.inst.Class.IsCtrl() {
 				brs++
@@ -386,7 +762,7 @@ func (m *Machine) CheckInvariants() error {
 				mem++
 			}
 		}
-		ifqTotal += len(t.ifq)
+		ifqTotal += t.ifqCount()
 		for idx := t.robHead; idx < t.robTail; idx++ {
 			e := t.entry(idx)
 			if e.state == sSquashed {
@@ -445,13 +821,45 @@ func (m *Machine) CheckInvariants() error {
 		return fmt.Errorf("rename pools mismatch: have int=%d fp=%d want int=%d fp=%d",
 			m.intRegsUsed, m.fpRegsUsed, intRegs, fpRegs)
 	}
-	// IQ entries must reference live waiting entries.
-	for _, q := range [][]iqEntry{m.intIQ, m.fpIQ} {
-		for _, qe := range q {
-			t := m.threads[qe.tid]
-			e := t.entry(qe.robIdx)
-			if e.gen != qe.gen || e.state != sWaiting {
-				return fmt.Errorf("stale IQ entry: thread %d robIdx %d", qe.tid, qe.robIdx)
+	// IQ entries must reference live waiting entries, bits must lie
+	// below tail, and the cached count must match the mask population.
+	for qi, q := range [...]*issueQ{&m.intIQ, &m.fpIQ} {
+		pop := 0
+		for wi, word := range q.occ {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				i := wi<<6 | b
+				pop++
+				if i >= q.tail {
+					return fmt.Errorf("issueQ %d: live bit %d at or beyond tail %d", qi, i, q.tail)
+				}
+				w, r := &q.wait[i], &q.ref[i]
+				t := m.threads[w.tid]
+				e := t.entry(r.robIdx)
+				if e.gen != r.gen || e.state != sWaiting {
+					return fmt.Errorf("stale IQ entry: thread %d robIdx %d", w.tid, r.robIdx)
+				}
+				unresBit := q.unres[w.tid][wi]&(1<<uint(b)) != 0
+				if want := w.dep1Idx >= 0 || w.dep2Idx >= 0; unresBit != want {
+					return fmt.Errorf("issueQ %d slot %d: unres bit %v but deps resolved=%v", qi, i, unresBit, !want)
+				}
+			}
+		}
+		if pop != q.count {
+			return fmt.Errorf("issueQ %d: count %d != population %d", qi, q.count, pop)
+		}
+		for tid, u := range q.unres {
+			for wi, word := range u {
+				if word&^q.occ[wi] != 0 {
+					return fmt.Errorf("issueQ %d: thread %d unres bits outside occupancy in word %d", qi, tid, wi)
+				}
+				for w2 := word; w2 != 0; w2 &= w2 - 1 {
+					i := wi<<6 | bits.TrailingZeros64(w2)
+					if int(q.wait[i].tid) != tid {
+						return fmt.Errorf("issueQ %d: unres bit for thread %d on slot %d owned by %d", qi, tid, i, q.wait[i].tid)
+					}
+				}
 			}
 		}
 	}

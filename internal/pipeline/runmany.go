@@ -1,0 +1,79 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// shellPools caches machine shells by geometry so repeated simulations
+// of the same configuration skip construction entirely: Acquire resets
+// a pooled shell in place (Machine.Reset restores the just-constructed
+// state without allocating) instead of rebuilding every ring, table and
+// arena. Keys are (Config, context count) — Config is comparable — so a
+// pooled shell always has exactly the geometry Reset expects.
+var shellPools sync.Map
+
+type shellKey struct {
+	cfg     Config
+	threads int
+}
+
+// Acquire returns a machine equivalent to New(cfg, progs, seed),
+// reusing a pooled shell of the same geometry when one is available.
+// Reset restores a shell to its freshly-built state, so an acquired
+// machine replays byte-identically to a newly constructed one (the
+// allocation regression tests assert this).
+func Acquire(cfg Config, progs []*trace.Program, seed uint64) *Machine {
+	key := shellKey{cfg, len(progs)}
+	if p, ok := shellPools.Load(key); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			m := v.(*Machine)
+			m.Reset(progs, seed)
+			return m
+		}
+	}
+	return New(cfg, progs, seed)
+}
+
+// Release returns a machine to the shell pool for a later Acquire with
+// the same Config and context count. The caller must drop every
+// reference to m: a released machine will be overwritten.
+func Release(m *Machine) {
+	if m == nil {
+		return
+	}
+	key := shellKey{m.cfg, len(m.threads)}
+	p, _ := shellPools.LoadOrStore(key, &sync.Pool{})
+	p.(*sync.Pool).Put(m)
+}
+
+// Workload is one item of a RunMany batch.
+type Workload struct {
+	// Programs populate the hardware contexts (their count sets the
+	// context count).
+	Programs []*trace.Program
+	// Seed drives the machine's stochastic wrong-path streams.
+	Seed uint64
+	// Cycles is how long to run.
+	Cycles int64
+}
+
+// RunMany executes each workload in order on cfg-geometry machines
+// drawn from the shell pool, calling visit (if non-nil) with the
+// finished machine before it is recycled. The machine passed to visit
+// is only valid for the duration of the call. After the first workload
+// of a given context count, subsequent runs reuse the same shell, so a
+// batch performs machine construction O(distinct geometries) times
+// rather than O(len(work)).
+func RunMany(cfg Config, work []Workload, visit func(i int, m *Machine)) {
+	for i := range work {
+		w := &work[i]
+		m := Acquire(cfg, w.Programs, w.Seed)
+		m.Run(w.Cycles)
+		if visit != nil {
+			visit(i, m)
+		}
+		Release(m)
+	}
+}

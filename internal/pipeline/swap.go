@@ -46,8 +46,8 @@ func (m *Machine) StallAllFetch(penalty int) {
 // resources exactly as the invariant checker counts them.
 func (m *Machine) flushThread(t *thread) {
 	// Fetch buffer.
-	for i := range t.ifq {
-		fe := &t.ifq[i]
+	for i := t.ifqHead; i < t.ifqTail; i++ {
+		fe := &t.ifq[i&t.ifqMask]
 		t.st.Live.PreIssue--
 		switch {
 		case fe.inst.Class.IsCtrl():
@@ -60,7 +60,7 @@ func (m *Machine) flushThread(t *thread) {
 		}
 		m.ifqTotal--
 	}
-	t.ifq = nil
+	t.ifqHead = t.ifqTail
 
 	// ROB window, youngest first.
 	for idx := t.robTail; idx > t.robHead; idx-- {
@@ -103,20 +103,8 @@ func (m *Machine) flushThread(t *thread) {
 	t.robHead = t.robTail
 
 	// Queue entries referencing the flushed window.
-	purge := func(q *[]iqEntry) {
-		queue := *q
-		w := 0
-		for _, qe := range queue {
-			if int(qe.tid) == t.id {
-				continue
-			}
-			queue[w] = qe
-			w++
-		}
-		*q = queue[:w]
-	}
-	purge(&m.intIQ)
-	purge(&m.fpIQ)
+	m.intIQ.purgeThread(t.id, 0, true)
+	m.fpIQ.purgeThread(t.id, 0, true)
 
 	// A syscall drain owned by this thread dies with it.
 	if m.draining && m.drainTid == t.id {

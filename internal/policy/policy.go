@@ -13,6 +13,7 @@ package policy
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/counters"
 )
@@ -121,6 +122,7 @@ type Selector struct {
 	rrCursor int
 	keys     []float64
 	order    []int
+	pk       []int64 // packed key|rank scratch for the integer-key sort
 }
 
 // NewSelector returns a selector over n hardware contexts, initially
@@ -130,6 +132,7 @@ func NewSelector(pol Policy, n int) *Selector {
 		policy: pol,
 		keys:   make([]float64, n),
 		order:  make([]int, n),
+		pk:     make([]int64, n),
 	}
 }
 
@@ -147,10 +150,34 @@ func (s *Selector) Clone() *Selector {
 		rrCursor: s.rrCursor,
 		keys:     make([]float64, len(s.keys)),
 		order:    make([]int, len(s.order)),
+		pk:       make([]int64, len(s.pk)),
 	}
 	copy(ns.keys, s.keys)
 	copy(ns.order, s.order)
 	return ns
+}
+
+// Reset restores the selector to its just-constructed state under pol,
+// without allocating. Machine pooling uses it.
+func (s *Selector) Reset(pol Policy) {
+	s.policy = pol
+	s.rrCursor = 0
+	for i := range s.keys {
+		s.keys[i] = 0
+		s.order[i] = 0
+	}
+}
+
+// CopyFrom overwrites s's state with src's without allocating. The two
+// selectors must cover the same number of contexts.
+func (s *Selector) CopyFrom(src *Selector) {
+	if len(s.keys) != len(src.keys) {
+		panic("policy: Selector.CopyFrom context-count mismatch")
+	}
+	s.policy = src.policy
+	s.rrCursor = src.rrCursor
+	copy(s.keys, src.keys)
+	copy(s.order, src.order)
 }
 
 // key returns the priority key for thread i; lower is higher priority.
@@ -195,17 +222,216 @@ func (s *Selector) key(p Policy, st *counters.State, i int) float64 {
 func (s *Selector) Order(states []*counters.State, dst []int) []int {
 	n := len(states)
 	dst = dst[:n]
+	if s.policy == ACCIPC || n > 256 {
+		return s.orderByFloat(states, dst)
+	}
+	pk := s.pk[:n]
+	cur := s.rrCursor
+	// One switch per cycle, not one per thread: the policy is loop
+	// invariant, and the specialised loops compute exactly the keys
+	// s.key would. Key and rotated rank pack into one int64 (key*256 +
+	// rank), so the sort below compares plain integers with no memory
+	// indirection and ties resolve by rank — exactly the stable
+	// rotated-order tie-break of the float path. Every integer policy's
+	// key is a machine-occupancy gauge or a stall count, far below the
+	// 2^55 packing limit (STALLCOUNT is clamped defensively; both paths
+	// are exact to well past 2^53, so they cannot diverge).
+	switch s.policy {
+	case RR:
+		for i := 0; i < n; i++ {
+			pk[i] = int64(i)<<8 | int64(i)
+		}
+	case ICOUNT:
+		for i := 0; i < n; i++ {
+			t := i + cur
+			if t >= n {
+				t -= n
+			}
+			pk[i] = int64(states[t].Live.PreIssue)<<8 | int64(i)
+		}
+	case BRCOUNT:
+		for i := 0; i < n; i++ {
+			t := i + cur
+			if t >= n {
+				t -= n
+			}
+			pk[i] = int64(states[t].Live.Branches)<<8 | int64(i)
+		}
+	case LDCOUNT:
+		for i := 0; i < n; i++ {
+			t := i + cur
+			if t >= n {
+				t -= n
+			}
+			pk[i] = int64(states[t].Live.Loads)<<8 | int64(i)
+		}
+	case MEMCOUNT:
+		for i := 0; i < n; i++ {
+			t := i + cur
+			if t >= n {
+				t -= n
+			}
+			pk[i] = int64(states[t].Live.Mem)<<8 | int64(i)
+		}
+	case L1MISSCOUNT:
+		for i := 0; i < n; i++ {
+			t := i + cur
+			if t >= n {
+				t -= n
+			}
+			pk[i] = int64(states[t].Live.MissOut())<<8 | int64(i)
+		}
+	case L1IMISSCOUNT:
+		for i := 0; i < n; i++ {
+			t := i + cur
+			if t >= n {
+				t -= n
+			}
+			pk[i] = int64(states[t].Live.IMissOut)<<8 | int64(i)
+		}
+	case L1DMISSCOUNT:
+		for i := 0; i < n; i++ {
+			t := i + cur
+			if t >= n {
+				t -= n
+			}
+			pk[i] = int64(states[t].Live.DMissOut)<<8 | int64(i)
+		}
+	case STALLCOUNT:
+		for i := 0; i < n; i++ {
+			t := i + cur
+			if t >= n {
+				t -= n
+			}
+			k := states[t].QuantumStalls
+			if k > 1<<55-1 {
+				k = 1<<55 - 1
+			}
+			pk[i] = int64(k)<<8 | int64(i)
+		}
+	default:
+		panic("policy: unknown policy " + s.policy.String())
+	}
+	if n <= 8 {
+		sortNet8(pk)
+	} else {
+		for i := 1; i < n; i++ {
+			v := pk[i]
+			j := i - 1
+			for j >= 0 && pk[j] > v {
+				pk[j+1] = pk[j]
+				j--
+			}
+			pk[j+1] = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := int(pk[i]&0xff) + cur
+		if t >= n {
+			t -= n
+		}
+		dst[i] = t
+	}
+	return dst
+}
+
+// sortNet8 sorts up to 8 packed keys with the optimal 19-comparator
+// sorting network, each comparator a pair of cmov-compiled min/max —
+// no data-dependent branches, so the per-cycle ordering never pays the
+// mispredict tax an insertion sort incurs on shuffling gauge values.
+// Packed keys are distinct (the rank occupies the low byte), so the
+// unique ascending order is exactly what the insertion sort produced.
+// Short inputs are padded with MaxInt64, which sorts to the unused tail.
+func sortNet8(pk []int64) {
+	v0, v1, v2, v3 := int64(math.MaxInt64), int64(math.MaxInt64), int64(math.MaxInt64), int64(math.MaxInt64)
+	v4, v5, v6, v7 := int64(math.MaxInt64), int64(math.MaxInt64), int64(math.MaxInt64), int64(math.MaxInt64)
+	switch len(pk) {
+	case 8:
+		v7 = pk[7]
+		fallthrough
+	case 7:
+		v6 = pk[6]
+		fallthrough
+	case 6:
+		v5 = pk[5]
+		fallthrough
+	case 5:
+		v4 = pk[4]
+		fallthrough
+	case 4:
+		v3 = pk[3]
+		fallthrough
+	case 3:
+		v2 = pk[2]
+		fallthrough
+	case 2:
+		v1, v0 = pk[1], pk[0]
+	default:
+		return
+	}
+	v0, v1 = min(v0, v1), max(v0, v1)
+	v2, v3 = min(v2, v3), max(v2, v3)
+	v4, v5 = min(v4, v5), max(v4, v5)
+	v6, v7 = min(v6, v7), max(v6, v7)
+	v0, v2 = min(v0, v2), max(v0, v2)
+	v1, v3 = min(v1, v3), max(v1, v3)
+	v4, v6 = min(v4, v6), max(v4, v6)
+	v5, v7 = min(v5, v7), max(v5, v7)
+	v1, v2 = min(v1, v2), max(v1, v2)
+	v5, v6 = min(v5, v6), max(v5, v6)
+	v0, v4 = min(v0, v4), max(v0, v4)
+	v3, v7 = min(v3, v7), max(v3, v7)
+	v1, v5 = min(v1, v5), max(v1, v5)
+	v2, v6 = min(v2, v6), max(v2, v6)
+	v1, v4 = min(v1, v4), max(v1, v4)
+	v3, v6 = min(v3, v6), max(v3, v6)
+	v2, v4 = min(v2, v4), max(v2, v4)
+	v3, v5 = min(v3, v5), max(v3, v5)
+	v3, v4 = min(v3, v4), max(v3, v4)
+	switch len(pk) {
+	case 8:
+		pk[7] = v7
+		fallthrough
+	case 7:
+		pk[6] = v6
+		fallthrough
+	case 6:
+		pk[5] = v5
+		fallthrough
+	case 5:
+		pk[4] = v4
+		fallthrough
+	case 4:
+		pk[3] = v3
+		fallthrough
+	case 3:
+		pk[2] = v2
+		fallthrough
+	case 2:
+		pk[1], pk[0] = v1, v0
+	}
+}
+
+// orderByFloat is the float-keyed ordering path: ACCIPC (whose key is a
+// real-valued IPC) and the >256-context fallback where ranks no longer
+// fit the packed representation.
+func (s *Selector) orderByFloat(states []*counters.State, dst []int) []int {
+	n := len(states)
+	keys := s.keys
 	for i := 0; i < n; i++ {
 		// Start from cursor rotation so equal keys keep rotating fairly.
-		t := (i + s.rrCursor) % n
+		t := i + s.rrCursor
+		if t >= n {
+			t -= n
+		}
 		dst[i] = t
-		s.keys[t] = s.key(s.policy, states[t], t)
+		keys[t] = s.key(s.policy, states[t], t)
 	}
 	for i := 1; i < n; i++ {
 		t := dst[i]
-		k := s.keys[t]
+		k := keys[t]
 		j := i - 1
-		for j >= 0 && s.keys[dst[j]] > k {
+		for j >= 0 && keys[dst[j]] > k {
 			dst[j+1] = dst[j]
 			j--
 		}

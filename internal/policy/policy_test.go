@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/counters"
+	"repro/internal/rng"
 )
 
 func states(n int) []*counters.State {
@@ -212,5 +213,38 @@ func TestL1MissCountIncludesICacheMisses(t *testing.T) {
 	order = sel.Order(sts, make([]int, 2))
 	if order[0] != 0 {
 		t.Fatalf("order %v: thread 1 has 2 outstanding misses vs 1", order)
+	}
+}
+
+// TestSortNet8MatchesInsertion: the sorting network must order every
+// input length exactly as the insertion sort it replaced — keys are
+// distinct by construction, so there is one right answer.
+func TestSortNet8MatchesInsertion(t *testing.T) {
+	r := rng.New(42)
+	for n := 1; n <= 8; n++ {
+		for trial := 0; trial < 2000; trial++ {
+			a := make([]int64, n)
+			b := make([]int64, n)
+			for i := range a {
+				// Gauge-shaped keys with the rank packed low, ranks unique.
+				a[i] = int64(r.Uint64n(1<<20))<<8 | int64(i)
+				b[i] = a[i]
+			}
+			sortNet8(a)
+			for i := 1; i < n; i++ {
+				v := b[i]
+				j := i - 1
+				for j >= 0 && b[j] > v {
+					b[j+1] = b[j]
+					j--
+				}
+				b[j+1] = v
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d trial=%d: network %v != insertion %v", n, trial, a, b)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,100 @@
+// Package profiling gives the command-line tools a shared, SIGINT-safe
+// implementation of the standard -cpuprofile / -memprofile flags, so
+// every front end exposes pprof the same way and none of them reinvents
+// the flush-on-interrupt dance.
+//
+// Usage:
+//
+//	stop, err := profiling.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// Start installs a signal handler so that an interrupted run (Ctrl-C on
+// a long sweep) still writes complete, loadable profiles: the CPU
+// profile is stopped and flushed, the heap profile is written after a
+// final GC, and the process re-raises the signal's conventional exit.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"syscall"
+)
+
+// Start begins CPU and/or heap profiling, returning a stop function
+// that flushes whatever was enabled. Empty paths disable the respective
+// profile; Start with both paths empty returns a no-op stop. The stop
+// function is idempotent and safe to call from a defer alongside the
+// installed SIGINT/SIGTERM handler.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+
+	var once sync.Once
+	flush := func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+					return
+				}
+				// An up-to-date heap profile needs the latest GC's
+				// statistics.
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "profiling: write heap profile: %v\n", err)
+				}
+				f.Close()
+			}
+		})
+	}
+
+	if cpuPath != "" || memPath != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s, ok := <-sig
+			if !ok {
+				return
+			}
+			flush()
+			// Restore the default disposition and re-raise so the exit
+			// status reflects the interruption. signal.Stop only drops
+			// THIS channel's registration: a host with its own handler
+			// (adts-sweep's NotifyContext graceful-checkpoint path)
+			// absorbs the re-raised signal and shuts down on its own
+			// terms, while a plain host (smtsim) dies with the
+			// conventional signal exit status.
+			signal.Stop(sig)
+			if sn, isSyscall := s.(syscall.Signal); isSyscall {
+				syscall.Kill(os.Getpid(), sn)
+			} else {
+				os.Exit(1)
+			}
+		}()
+		return func() {
+			signal.Stop(sig)
+			close(sig)
+			flush()
+		}, nil
+	}
+	return func() {}, nil
+}

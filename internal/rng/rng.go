@@ -86,6 +86,21 @@ func (p *PRNG) Geometric(mean float64) int {
 	return n
 }
 
+// GeometricLogQ is Geometric with the denominator hoisted: logQ must be
+// math.Log(1-1/mean) for the intended mean > 1. For a fixed mean the two
+// methods draw bit-identical samples from the same stream; hot callers
+// that sample the same distribution repeatedly cache logQ once instead
+// of paying a math.Log per draw. A mean <= 1 has no valid logQ — callers
+// keep Geometric's early-return (constant 1, no draw) on their side.
+func (p *PRNG) GeometricLogQ(logQ float64) int {
+	u := p.Float64()
+	n := int(math.Ceil(math.Log(1-u) / logQ))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Pick returns an index in [0, len(weights)) with probability proportional
 // to weights[i]. Zero or negative total weight picks index 0.
 func (p *PRNG) Pick(weights []float64) int {

@@ -205,12 +205,32 @@ func Run(ctx context.Context, cfg core.Config) (core.Result, error) {
 	go func() { done <- sim.Run() }()
 	select {
 	case res := <-done:
+		// The run completed, so nothing references the machine any
+		// more: recycle it for the next request of this geometry.
+		sim.Close()
 		return res, nil
 	case <-ctx.Done():
 		// The simulator has no preemption point; the goroutine finishes
-		// its (bounded) run and the buffered channel lets it exit.
+		// its (bounded) run and the buffered channel lets it exit. The
+		// machine is still in use there, so it is NOT recycled.
 		return core.Result{}, ctx.Err()
 	}
+}
+
+// RunMany executes the configs in order, reusing pooled machines
+// between runs (see core.RunMany), and stops at the first error or
+// context cancellation. Results are identical to calling Run per
+// config.
+func RunMany(ctx context.Context, cfgs []core.Config) ([]core.Result, error) {
+	out := make([]core.Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // ReportOptions selects the optional report sections.

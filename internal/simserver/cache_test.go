@@ -88,8 +88,11 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	var m metrics
 	m.requests.Add(3)
 	m.cacheHits.Add(2)
-	m.observeRunSeconds(0.004) // first bucket
-	m.observeRunSeconds(99)    // +Inf bucket
+	m.observeRunSeconds(0.004)                 // first bucket
+	m.observeRunSeconds(99)                    // +Inf bucket
+	m.observeSimThroughput(100000, 25_000_000) // 250 ns/cycle
+	m.observeSimThroughput(200000, 25_000_000) // 125 ns/cycle
+	m.observeSimThroughput(0, 5)               // guarded: no cycles, no observation
 	var b strings.Builder
 	m.writePrometheus(&b)
 	out := b.String()
@@ -101,6 +104,11 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		`smtsimd_run_seconds_bucket{le="0.005"} 1`,
 		`smtsimd_run_seconds_bucket{le="+Inf"} 2`,
 		"smtsimd_run_seconds_count 2",
+		"# TYPE smtsimd_sim_cycles_total counter",
+		"smtsimd_sim_cycles_total 300000",
+		"# TYPE smtsimd_sim_ns_per_cycle summary",
+		"smtsimd_sim_ns_per_cycle_sum 375",
+		"smtsimd_sim_ns_per_cycle_count 2",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, out)

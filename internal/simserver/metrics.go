@@ -35,6 +35,10 @@ type metrics struct {
 	latCount   atomic.Int64
 	latSumUs   atomic.Int64 // microseconds, to keep the sum integral
 	latBuckets [14]atomic.Int64
+
+	simCycles     atomic.Int64 // simulated cycles completed, incl. fast-forward
+	nsPerCycCount atomic.Int64
+	nsPerCycSumPs atomic.Int64 // picoseconds per cycle, to keep the sum integral
 }
 
 // observeRunSeconds records one completed simulation's latency.
@@ -48,6 +52,19 @@ func (m *metrics) observeRunSeconds(s float64) {
 		}
 	}
 	m.latBuckets[len(latencyBuckets)].Add(1) // +Inf
+}
+
+// observeSimThroughput records one completed simulation's cycle count
+// and its wall-time cost per simulated cycle. cycles includes the
+// fast-forward prefix — that work is simulated whether or not it is
+// measured, and throughput dashboards care about what the CPU did.
+func (m *metrics) observeSimThroughput(cycles int64, elapsedNs int64) {
+	if cycles <= 0 {
+		return
+	}
+	m.simCycles.Add(cycles)
+	m.nsPerCycCount.Add(1)
+	m.nsPerCycSumPs.Add(elapsedNs * 1000 / cycles)
 }
 
 // writeCounter emits one counter in Prometheus text exposition format.
@@ -88,6 +105,13 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h, cum)
 	fmt.Fprintf(w, "%s_sum %g\n", h, float64(m.latSumUs.Load())/1e6)
 	fmt.Fprintf(w, "%s_count %d\n", h, m.latCount.Load())
+
+	counter("smtsimd_sim_cycles_total", "Simulated cycles completed, including fast-forward warmup.", m.simCycles.Load())
+
+	const s = "smtsimd_sim_ns_per_cycle"
+	fmt.Fprintf(w, "# HELP %s Wall-clock nanoseconds per simulated cycle, one observation per completed simulation.\n# TYPE %s summary\n", s, s)
+	fmt.Fprintf(w, "%s_sum %g\n", s, float64(m.nsPerCycSumPs.Load())/1e3)
+	fmt.Fprintf(w, "%s_count %d\n", s, m.nsPerCycCount.Load())
 }
 
 // trimFloat formats a bucket bound without trailing zeros ("0.5", "1").

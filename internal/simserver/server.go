@@ -364,6 +364,7 @@ func (s *Server) execute(key string, f *flight, req simrun.Request, cfg core.Con
 		return
 	}
 	s.metrics.observeRunSeconds(elapsed.Seconds())
+	s.metrics.observeSimThroughput(res.Cycles+cfg.FastForward, elapsed.Nanoseconds())
 	resp := &runResponse{
 		Key:     key,
 		Request: req,

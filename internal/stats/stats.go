@@ -39,7 +39,11 @@ func RunnerJobs(jobs []Job) []runner.Job[core.Result] {
 				if err != nil {
 					return core.Result{}, err
 				}
-				return sim.Run(), nil
+				res := sim.Run()
+				// Recycle the machine shell: sweep jobs overwhelmingly
+				// share a geometry, so later jobs skip construction.
+				sim.Close()
+				return res, nil
 			},
 		}
 	}

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"math"
+
 	"repro/internal/isa"
 	"repro/internal/rng"
 )
@@ -37,6 +39,32 @@ type Program struct {
 	heapPtr  uint64 // current streaming pointer
 	loopCnt  [loopSlots]uint16
 	lastDest uint64 // seq of the most recent register-writing instruction
+
+	// depLogQ caches math.Log(1-1/MeanDepDist) per phase (0 marks a
+	// mean <= 1, where Geometric returns 1 without drawing). Shared
+	// immutably between clones; computed once in NewProgram so the
+	// per-instruction dependency draw skips the math.Log.
+	depLogQ []float64
+
+	// replay, when non-nil, is an immutable recorded prefix of this
+	// exact stream (see Record/CachedPrograms): Next serves instructions
+	// from it instead of re-deriving them, which is what lets a sweep
+	// re-simulating one workload under many policies pay the generator
+	// cost once. replayEnd is the frozen generator state at the end of
+	// the prefix; when the prefix runs out the program adopts it and
+	// generation continues live, bit-identically to a never-recorded
+	// run. Both are shared between clones.
+	replay    []replayItem
+	replayPos int
+	replayEnd *Program
+}
+
+// replayItem is one recorded instruction plus the phase it was generated
+// in — the only generator state a consumer can observe mid-stream
+// (WrongPathInst draws from the current phase's mixture and footprint).
+type replayItem struct {
+	inst  isa.Inst
+	phase uint16
 }
 
 // NewProgram instantiates prof for thread tid with the given seed. The
@@ -53,6 +81,12 @@ func NewProgram(prof *Profile, tid int, seed uint64) *Program {
 		tid:  tid,
 		seed: seed,
 		r:    root.Split(),
+	}
+	p.depLogQ = make([]float64, len(prof.Phases))
+	for i := range prof.Phases {
+		if m := prof.Phases[i].MeanDepDist; m > 1 {
+			p.depLogQ[i] = math.Log(1 - 1/m)
+		}
 	}
 	p.enterPhase(0)
 	return p
@@ -110,6 +144,19 @@ func (p *Program) hashStatic(pc uint64, salt uint64) uint64 {
 
 // Next produces the next instruction of the stream.
 func (p *Program) Next() isa.Inst {
+	if p.replay != nil {
+		if p.replayPos < len(p.replay) {
+			it := &p.replay[p.replayPos]
+			p.replayPos++
+			p.phase = int(it.phase)
+			p.seq = it.inst.Seq
+			return it.inst
+		}
+		// Prefix exhausted: adopt the frozen post-prefix generator state
+		// and continue live. The copy clears the replay fields (replayEnd
+		// itself was recorded live), so this branch runs once.
+		*p = *p.replayEnd
+	}
 	ph := &p.prof.Phases[p.phase]
 	p.seq++
 	p.phaseLeft--
@@ -341,7 +388,12 @@ func (p *Program) genDeps(in *isa.Inst, ph *Phase) {
 }
 
 func (p *Program) depDistance(ph *Phase) uint32 {
-	d := uint32(p.r.Geometric(ph.MeanDepDist))
+	// Same stream as p.r.Geometric(ph.MeanDepDist): logQ == 0 mirrors
+	// Geometric's mean<=1 early return (constant 1, no draw consumed).
+	d := uint32(1)
+	if lq := p.depLogQ[p.phase]; lq != 0 {
+		d = uint32(p.r.GeometricLogQ(lq))
+	}
 	if uint64(d) > p.seq-1 {
 		if p.seq <= 1 {
 			return 0
