@@ -2,17 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check chaos bench bench-json experiments tools clean
+.PHONY: all build vet test test-short check chaos bench bench-json golden-multicore experiments tools clean
 
 all: build vet test
 
 # PR gate: vet + full build + race-checked tests for the concurrent
-# runner, the simulation service, the fleet client, and their callers,
-# plus the chaos fault-injection e2e suite.
+# runner, the simulation service, the fleet client, the multi-core
+# system (parallel per-quantum core loop), and their callers, plus the
+# chaos fault-injection e2e suite.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/runner ./internal/stats ./internal/simrun ./internal/simserver ./internal/fleet
+	$(GO) test -race ./internal/runner ./internal/stats ./internal/simrun ./internal/simserver ./internal/fleet ./internal/multicore
 	$(MAKE) chaos
 
 # Chaos suite: deterministic fault injection end to end (docs/chaos.md).
@@ -38,10 +39,17 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the committed perf snapshot (docs/perf.md). Full iteration
-# counts: a few minutes on an idle machine. The pre-PR numbers ride
-# along under "baseline" so the file reads as a trajectory.
+# counts: a few minutes on an idle machine. Baselines chain: each PR's
+# file embeds the previous PR's under "baseline", so the committed file
+# reads as the whole trajectory.
 bench-json: tools
-	./bin/simbench -out BENCH_PR6.json -baseline docs/bench-baseline-pr6.json
+	./bin/simbench -out BENCH_PR7.json -baseline BENCH_PR6.json
+
+# Regenerate (or, in CI, verify — see .github/workflows/ci.yml) the
+# committed golden multi-core experiment: a quick 2-core allocation
+# comparison whose JSON must be byte-identical on every machine.
+golden-multicore: tools
+	./bin/adts-sweep -multicore -cores 2 -mixes kitchen-sink,int-memory,mixed-lowipc -quanta 8 -intervals 1 -json > docs/results/multicore-golden.json
 
 # Full-scale experiment suite (tens of minutes single-core); writes the
 # tables EXPERIMENTS.md is based on to stdout.

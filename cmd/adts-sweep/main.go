@@ -57,6 +57,9 @@ func main() {
 		jobschedF  = flag.Bool("jobsched", false, "job-scheduler interplay: oblivious vs DT-assisted (§3/§7)")
 		headline   = flag.Bool("headline", false, "§6 headline: best configuration vs fixed ICOUNT")
 		similarity = flag.Bool("similarity", false, "homogeneous vs diverse mix gains (§6)")
+		multicoreF = flag.Bool("multicore", false, "thread-to-core allocation policies on N SMT cores")
+
+		coresF = flag.String("cores", "2,4", "with -multicore: comma-separated core counts")
 
 		quanta      = flag.Int("quanta", 64, "measured scheduling quanta per run")
 		intervals   = flag.Int("intervals", 3, "measurement intervals per mix (paper used 10)")
@@ -163,10 +166,10 @@ func main() {
 	defer stop()
 
 	if *all {
-		*fig7, *fig8, *table1, *oracleF, *saturation, *calibrate, *headline, *similarity, *jobschedF =
-			true, true, true, true, true, true, true, true, true
+		*fig7, *fig8, *table1, *oracleF, *saturation, *calibrate, *headline, *similarity, *jobschedF, *multicoreF =
+			true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*fig7 || *fig8 || *table1 || *oracleF || *saturation || *calibrate || *headline || *similarity || *jobschedF) {
+	if !(*fig7 || *fig8 || *table1 || *oracleF || *saturation || *calibrate || *headline || *similarity || *jobschedF || *multicoreF) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -180,6 +183,7 @@ func main() {
 		Saturation *experiments.SaturationResult `json:"saturation,omitempty"`
 		Calibrate  *experiments.Calibration      `json:"calibrate,omitempty"`
 		Jobsched   *experiments.JobschedResult   `json:"jobsched,omitempty"`
+		Multicore  *experiments.MultiCoreResult  `json:"multicore,omitempty"`
 	}
 	emit := func(s fmt.Stringer) {
 		if !*jsonF {
@@ -272,6 +276,20 @@ func main() {
 		out.Jobsched = res
 		emit(res.Table())
 	}
+	if *multicoreF {
+		cores, err := parseCores(*coresF, o.Threads)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := experiments.RunMultiCore(ctx, o, cores)
+		if err != nil {
+			sweepFatal("multicore", err, ckPath)
+		}
+		out.Multicore = res
+		for _, tb := range res.Tables() {
+			emit(tb)
+		}
+	}
 
 	if *jsonF {
 		enc := json.NewEncoder(os.Stdout)
@@ -280,6 +298,27 @@ func main() {
 			fatalf("json: %v", err)
 		}
 	}
+}
+
+// parseCores parses the -cores list and checks each count divides the
+// thread count (the same constraint core.Config.Validate enforces),
+// so a bad flag fails before any simulation runs.
+func parseCores(s string, threads int) ([]int, error) {
+	var cores []int
+	for _, part := range splitMixes(s) {
+		var c int
+		if _, err := fmt.Sscanf(part, "%d", &c); err != nil || c < 2 || c > 8 {
+			return nil, fmt.Errorf("-cores: want counts in 2..8, got %q", part)
+		}
+		if threads%c != 0 {
+			return nil, fmt.Errorf("-cores: %d does not divide -threads %d", c, threads)
+		}
+		cores = append(cores, c)
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("-cores: empty list")
+	}
+	return cores, nil
 }
 
 // splitMixes parses the -mixes value: comma-separated names with

@@ -34,6 +34,8 @@ import (
 	"testing"
 
 	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/multicore"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -64,13 +66,34 @@ type runStats struct {
 	PooledSpeedup float64 `json:"pooled_speedup"`
 }
 
+// multicoreStats compares the same total workload run as one 8-thread
+// core versus two 4-thread cores in parallel goroutines: wall ns per
+// simulated system cycle for each, and the wall-clock speedup the
+// parallel cores buy. Simulated IPCs ride along as fingerprints.
+type multicoreStats struct {
+	Mix     string `json:"mix"`
+	Threads int    `json:"threads"`
+	// GOMAXPROCS contextualizes WallSpeedup: the dual-core run
+	// simulates twice the core-cycles, so on one OS CPU the expected
+	// speedup is below 1 (it still shows the per-core-cycle win); real
+	// parallel speedup needs GOMAXPROCS >= cores.
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CyclesPerRun  int64   `json:"cycles_per_run"`
+	SingleNsCycle float64 `json:"single_core_ns_per_cycle"`
+	DualNsCycle   float64 `json:"dual_core_ns_per_cycle"`
+	WallSpeedup   float64 `json:"wall_speedup"`
+	SingleSimIPC  float64 `json:"single_core_sim_ipc"`
+	DualSimIPC    float64 `json:"dual_core_sim_ipc"`
+}
+
 type report struct {
-	Version  string          `json:"version"`
-	Go       string          `json:"go"`
-	GOARCH   string          `json:"goarch"`
-	Command  string          `json:"command"`
-	Cells    []cell          `json:"cells"`
-	Baseline json.RawMessage `json:"baseline,omitempty"`
+	Version   string          `json:"version"`
+	Go        string          `json:"go"`
+	GOARCH    string          `json:"goarch"`
+	Command   string          `json:"command"`
+	Cells     []cell          `json:"cells"`
+	Multicore *multicoreStats `json:"multicore,omitempty"`
+	Baseline  json.RawMessage `json:"baseline,omitempty"`
 }
 
 func main() {
@@ -118,6 +141,10 @@ func main() {
 			rep.Cells = append(rep.Cells, c)
 		}
 	}
+
+	fmt.Fprintf(os.Stderr, "simbench: multi-core scaling (1 vs 2 cores)\n")
+	mc := measureMultiCore("kitchen-sink", 8, runIters)
+	rep.Multicore = &mc
 
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
@@ -234,6 +261,66 @@ func measureSingleRun(mixName string, threads int, cycles int64, iters string) r
 		PooledNs:      pn,
 		PooledAlloc:   int64(pooled.AllocsPerOp()),
 		PooledSpeedup: up / pn,
+	}
+}
+
+// measureMultiCore times an identical total workload as one core of N
+// threads versus two cores of N/2 threads under a random allocation
+// (no profiling pass, so both variants simulate the same cycle count).
+// Both report wall ns per simulated system cycle; their ratio is what
+// the parallel per-quantum core loop buys in wall clock.
+func measureMultiCore(mixName string, threads int, iters string) multicoreStats {
+	mk := func(cores int) core.Config {
+		cfg := core.DefaultConfig(mixName)
+		cfg.Threads = threads
+		cfg.Quanta = 8
+		cfg.FastForward = 8192
+		if cores > 1 {
+			cfg.Cores = cores
+			cfg.Allocation = "random"
+		}
+		return cfg
+	}
+
+	var singleIPC, dualIPC float64
+	var cycles int64
+	setBenchtime(iters)
+	single := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := mk(1)
+			sim, err := core.NewSimulator(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := sim.Run()
+			sim.Close()
+			singleIPC = res.AggregateIPC
+			cycles = cfg.FastForward + res.Cycles
+		}
+	})
+	setBenchtime(iters)
+	dual := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := multicore.RunConfig(mk(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dualIPC = res.AggregateIPC
+		}
+	})
+
+	sn := float64(single.NsPerOp()) / float64(cycles)
+	dn := float64(dual.NsPerOp()) / float64(cycles)
+	return multicoreStats{
+		Mix:           mixName,
+		Threads:       threads,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CyclesPerRun:  cycles,
+		SingleNsCycle: sn,
+		DualNsCycle:   dn,
+		WallSpeedup:   sn / dn,
+		SingleSimIPC:  singleIPC,
+		DualSimIPC:    dualIPC,
 	}
 }
 

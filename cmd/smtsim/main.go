@@ -34,7 +34,9 @@ func main() {
 		heuristic = flag.String("heuristic", "Type 3", "ADTS heuristic: Type 1..Type 4, Type 3'")
 		kernelF   = flag.String("kernel", "", "ADTS: drive the detector with an assembled DT kernel from this file instead of the built-in heuristic")
 		m         = flag.Float64("m", 2, "ADTS IPC threshold")
-		threads   = flag.Int("threads", 8, "hardware contexts (1..8)")
+		threads   = flag.Int("threads", 8, "hardware contexts (1..8; total across cores)")
+		coresN    = flag.Int("cores", 1, "SMT cores (2..8 runs a multi-core system)")
+		allocF    = flag.String("allocation", "", "thread-to-core policy for -cores > 1: random | symbiosis | synpa")
 		quanta    = flag.Int("quanta", 64, "measured scheduling quanta")
 		ff        = flag.Int64("fastforward", 16384, "cycles to fast-forward before measuring")
 		seed      = flag.Uint64("seed", 1, "workload seed")
@@ -64,6 +66,8 @@ func main() {
 		Heuristic:   *heuristic,
 		M:           *m,
 		Threads:     *threads,
+		Cores:       *coresN,
+		Allocation:  *allocF,
 		Quanta:      *quanta,
 		FastForward: *ff,
 		Seed:        *seed,

@@ -63,10 +63,23 @@ type Config struct {
 	MixName  string
 	Programs []*trace.Program
 	// Threads is the number of hardware contexts to populate from the
-	// mix (1..8).
+	// mix (1..8). With Cores > 1 this is the TOTAL thread count across
+	// all cores; it must divide evenly.
 	Threads int
 	// Seed drives all stochastic workload behaviour.
 	Seed uint64
+
+	// Cores is the number of SMT cores. 0 and 1 both select the
+	// single-core simulator (the paper's machine); Cores > 1 is a
+	// multi-core system driven by internal/multicore, which splits
+	// Threads evenly across cores under the Allocation policy. A
+	// Simulator itself always models one core — NewSimulator rejects
+	// Cores > 1.
+	Cores int
+	// Allocation names the thread-to-core allocation policy for
+	// Cores > 1: "random", "symbiosis", or "synpa" (docs/multicore.md).
+	// Empty defaults to "random". It must be empty when Cores <= 1.
+	Allocation string
 
 	Machine  pipeline.Config
 	Detector detector.Config
@@ -108,6 +121,24 @@ func DefaultConfig(mixName string) Config {
 	}
 }
 
+// AllocationPolicies lists the thread-to-core allocation policies a
+// multi-core config may name, in canonical order.
+var AllocationPolicies = []string{"random", "symbiosis", "synpa"}
+
+// ValidAllocation reports whether name is a known allocation policy
+// ("" counts: it defaults to "random").
+func ValidAllocation(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, p := range AllocationPolicies {
+		if name == p {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate rejects inconsistent configurations.
 func (c Config) Validate() error {
 	if c.Programs == nil {
@@ -117,6 +148,18 @@ func (c Config) Validate() error {
 		if c.Threads < 1 || c.Threads > 8 {
 			return fmt.Errorf("core: Threads must be in 1..8, got %d", c.Threads)
 		}
+	}
+	switch {
+	case c.Cores < 0 || c.Cores > 8:
+		return fmt.Errorf("core: Cores must be in 0..8, got %d", c.Cores)
+	case c.Cores > 1 && !ValidAllocation(c.Allocation):
+		return fmt.Errorf("core: unknown allocation policy %q (want one of %v)", c.Allocation, AllocationPolicies)
+	case c.Cores > 1 && c.Programs == nil && c.Threads%c.Cores != 0:
+		return fmt.Errorf("core: Threads (%d) must divide evenly across Cores (%d)", c.Threads, c.Cores)
+	case c.Cores > 1 && c.Programs != nil && len(c.Programs)%c.Cores != 0:
+		return fmt.Errorf("core: len(Programs) (%d) must divide evenly across Cores (%d)", len(c.Programs), c.Cores)
+	case c.Cores <= 1 && c.Allocation != "":
+		return fmt.Errorf("core: Allocation %q requires Cores > 1", c.Allocation)
 	}
 	if c.Quanta <= 0 {
 		return fmt.Errorf("core: Quanta must be positive")
@@ -175,6 +218,15 @@ type Result struct {
 	CondBrRate    float64
 	WrongPathFrac float64 // wrong-path fraction of all fetched instructions
 
+	// Multi-core composition, filled by internal/multicore when the
+	// config had Cores > 1. The omitempty tags keep single-core JSON —
+	// and therefore result digests — byte-identical to prior releases.
+	Cores      int       `json:"Cores,omitempty"`
+	Allocation string    `json:"Allocation,omitempty"`
+	PerCoreIPC []float64 `json:"PerCoreIPC,omitempty"`
+	// Assignment[c] lists the mix thread indices allocated to core c.
+	Assignment [][]int `json:"Assignment,omitempty"`
+
 	// FairnessJain is Jain's fairness index over per-thread IPC:
 	// 1 = perfectly even progress, 1/n = one thread hoarding the
 	// machine. Throughput-greedy policies (ACCIPC, STALLCOUNT) buy IPC
@@ -184,8 +236,9 @@ type Result struct {
 	MinMaxRatio float64
 }
 
-// jainIndex computes Jain's fairness index (sum x)^2 / (n * sum x^2).
-func jainIndex(xs []float64) float64 {
+// JainIndex computes Jain's fairness index (sum x)^2 / (n * sum x^2);
+// internal/multicore reuses it to score system-wide fairness.
+func JainIndex(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
@@ -200,8 +253,9 @@ func jainIndex(xs []float64) float64 {
 	return s * s / (float64(len(xs)) * s2)
 }
 
-// minMaxRatio returns min(xs)/max(xs), 0 when max is 0.
-func minMaxRatio(xs []float64) float64 {
+// MinMaxRatio returns min(xs)/max(xs), 0 when max is 0: a starvation
+// indicator over per-thread IPCs.
+func MinMaxRatio(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
@@ -245,8 +299,15 @@ func RunMany(cfgs []Config) ([]Result, error) {
 		if cfg.Programs == nil && reps[workload{cfg.MixName, cfg.Threads, cfg.Seed}] > 1 {
 			// Record roughly the run's cycle count per context, capped to
 			// bound cache memory; threads that outrun the prefix fall back
-			// to live generation with identical results.
-			per := cfg.FastForward + int64(cfg.Quanta)*cfg.Detector.Quantum
+			// to live generation with identical results. The quantum
+			// mirrors Simulator.Run's default: sizing off a zero
+			// Detector.Quantum would record a prefix far shorter than the
+			// run it serves.
+			quantum := cfg.Detector.Quantum
+			if quantum <= 0 {
+				quantum = 8192
+			}
+			per := cfg.FastForward + int64(cfg.Quanta)*quantum
 			if per > 65536 {
 				per = 65536
 			}
@@ -275,6 +336,16 @@ type Simulator struct {
 	orc    *oracle.Scheduler
 
 	prevCum []counters.Counters
+
+	// Stepping state (Start/StepQuantum/Finish). Run drives these; a
+	// multi-core System drives them directly so it can barrier cores at
+	// quantum boundaries.
+	started        bool
+	quantum        int64
+	startCycle     int64
+	startCommitted uint64
+	startCum       []counters.Counters
+	res            Result
 }
 
 // NewSimulator builds a simulator; the machine is constructed but no
@@ -282,6 +353,9 @@ type Simulator struct {
 func NewSimulator(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Cores > 1 {
+		return nil, fmt.Errorf("core: a Simulator models one core; run Cores=%d configs through internal/multicore (or simrun.Run, which routes them)", cfg.Cores)
 	}
 	progs := cfg.Programs
 	if progs == nil {
@@ -391,25 +465,31 @@ func (s *Simulator) quantumStats(deltas []counters.Counters, cycles int64) detec
 	return q
 }
 
-// Run executes fast-forward plus the measured quanta and returns the
-// collected result.
-func (s *Simulator) Run() Result {
-	quantum := s.cfg.Detector.Quantum
-	if quantum <= 0 {
-		quantum = 8192
+// Start runs fast-forward and takes the measurement baseline. It is
+// idempotent: the first call does the work, later calls are no-ops.
+// Run calls it implicitly; multi-core drivers call it directly so every
+// core is warmed before the first synchronized quantum.
+func (s *Simulator) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.quantum = s.cfg.Detector.Quantum
+	if s.quantum <= 0 {
+		s.quantum = 8192
 	}
 
 	s.m.Run(s.cfg.FastForward)
 	// Measurement baseline.
-	startCycle := s.m.Now()
-	startCommitted := s.m.TotalCommitted()
-	startCum := make([]counters.Counters, s.m.NumThreads())
-	for i := range startCum {
-		startCum[i] = s.m.State(i).Cum
-		s.prevCum[i] = startCum[i]
+	s.startCycle = s.m.Now()
+	s.startCommitted = s.m.TotalCommitted()
+	s.startCum = make([]counters.Counters, s.m.NumThreads())
+	for i := range s.startCum {
+		s.startCum[i] = s.m.State(i).Cum
+		s.prevCum[i] = s.startCum[i]
 	}
 
-	res := Result{
+	s.res = Result{
 		Mix:     s.cfg.MixName,
 		Mode:    s.cfg.Mode,
 		Threads: s.m.NumThreads(),
@@ -417,52 +497,62 @@ func (s *Simulator) Run() Result {
 		Policy:  s.cfg.FixedPolicy,
 	}
 	if s.cfg.Mode == ModeADTS {
-		res.Heuristic = s.cfg.Detector.Heuristic
-		res.Threshold = s.cfg.Detector.IPCThreshold
+		s.res.Heuristic = s.cfg.Detector.Heuristic
+		s.res.Threshold = s.cfg.Detector.IPCThreshold
 	}
+}
 
-	for qi := 0; qi < s.cfg.Quanta; qi++ {
-		// STALLCOUNT keys on the running quantum's stalls.
-		for i := 0; i < s.m.NumThreads(); i++ {
-			s.m.State(i).QuantumStalls = 0
-		}
-		if s.cfg.Mode == ModeOracle {
-			s.orc.Step(s.m)
+// StepQuantum advances the machine one scheduling quantum — including
+// the end-of-quantum detector/oracle action — and returns the quantum's
+// aggregate IPC. Start must have been called. A full run is Start, then
+// Quanta steps, then Finish; Run packages exactly that.
+func (s *Simulator) StepQuantum() float64 {
+	// STALLCOUNT keys on the running quantum's stalls.
+	for i := 0; i < s.m.NumThreads(); i++ {
+		s.m.State(i).QuantumStalls = 0
+	}
+	if s.cfg.Mode == ModeOracle {
+		s.orc.Step(s.m)
+	} else {
+		s.m.Run(s.quantum)
+	}
+	deltas := s.snapshotDelta()
+	qs := s.quantumStats(deltas, s.quantum)
+	s.res.QuantumIPC = append(s.res.QuantumIPC, qs.IPC)
+	s.res.PolicyTimeline = append(s.res.PolicyTimeline, s.m.Policy())
+
+	if s.cfg.Mode == ModeADTS {
+		var dec detector.Decision
+		if s.kernel != nil {
+			var err error
+			dec, err = s.kernel.OnQuantumEnd(qs)
+			if err != nil {
+				panic(fmt.Sprintf("core: detector kernel failed at quantum %d: %v", len(s.res.QuantumIPC)-1, err))
+			}
 		} else {
-			s.m.Run(quantum)
+			dec = s.det.OnQuantumEnd(qs)
 		}
-		deltas := s.snapshotDelta()
-		qs := s.quantumStats(deltas, quantum)
-		res.QuantumIPC = append(res.QuantumIPC, qs.IPC)
-		res.PolicyTimeline = append(res.PolicyTimeline, s.m.Policy())
-
-		if s.cfg.Mode == ModeADTS {
-			var dec detector.Decision
-			if s.kernel != nil {
-				var err error
-				dec, err = s.kernel.OnQuantumEnd(qs)
-				if err != nil {
-					panic(fmt.Sprintf("core: detector kernel failed at quantum %d: %v", qi, err))
-				}
-			} else {
-				dec = s.det.OnQuantumEnd(qs)
-			}
-			s.m.ScheduleDetectorJob(dec.Work, dec.NewPolicy, dec.Switch)
-			for i, clog := range dec.Clogging {
-				f := s.m.State(i).Flags
-				f.Clogging = clog
-				s.m.SetFlags(i, f)
-			}
+		s.m.ScheduleDetectorJob(dec.Work, dec.NewPolicy, dec.Switch)
+		for i, clog := range dec.Clogging {
+			f := s.m.State(i).Flags
+			f.Clogging = clog
+			s.m.SetFlags(i, f)
 		}
 	}
+	return qs.IPC
+}
 
-	res.Cycles = s.m.Now() - startCycle
-	res.Committed = s.m.TotalCommitted() - startCommitted
+// Finish closes the measurement window and returns the collected
+// result. The simulator may not be stepped further afterwards.
+func (s *Simulator) Finish() Result {
+	res := s.res
+	res.Cycles = s.m.Now() - s.startCycle
+	res.Committed = s.m.TotalCommitted() - s.startCommitted
 	res.AggregateIPC = float64(res.Committed) / float64(res.Cycles)
 	res.PerThreadIPC = make([]float64, s.m.NumThreads())
 	var misp, l1, lsq, cbr, fetched, wrong uint64
 	for i := 0; i < s.m.NumThreads(); i++ {
-		d := s.m.State(i).Cum.Sub(startCum[i])
+		d := s.m.State(i).Cum.Sub(s.startCum[i])
 		res.PerThreadIPC[i] = float64(d.Committed) / float64(res.Cycles)
 		misp += d.Mispredicts
 		l1 += d.L1Misses()
@@ -479,8 +569,8 @@ func (s *Simulator) Run() Result {
 	if fetched > 0 {
 		res.WrongPathFrac = float64(wrong) / float64(fetched)
 	}
-	res.FairnessJain = jainIndex(res.PerThreadIPC)
-	res.MinMaxRatio = minMaxRatio(res.PerThreadIPC)
+	res.FairnessJain = JainIndex(res.PerThreadIPC)
+	res.MinMaxRatio = MinMaxRatio(res.PerThreadIPC)
 	if s.det != nil {
 		res.Detector = s.det.Stats()
 	}
@@ -493,4 +583,14 @@ func (s *Simulator) Run() Result {
 		res.OracleSwitches = s.orc.Switches
 	}
 	return res
+}
+
+// Run executes fast-forward plus the measured quanta and returns the
+// collected result.
+func (s *Simulator) Run() Result {
+	s.Start()
+	for qi := 0; qi < s.cfg.Quanta; qi++ {
+		s.StepQuantum()
+	}
+	return s.Finish()
 }

@@ -9,7 +9,9 @@
 //   - the oracle upper bound the paper cites from its prior study;
 //   - the homogeneous-versus-diverse mix comparison of §6/§7;
 //   - the thread-count saturation experiment of §7;
-//   - the §4.3.2 condition-threshold calibration methodology.
+//   - the §4.3.2 condition-threshold calibration methodology;
+//   - the multi-core thread-to-core allocation comparison
+//     (internal/multicore, docs/multicore.md).
 //
 // The same drivers back cmd/adts-sweep, the benchmark suite, and the
 // numbers recorded in EXPERIMENTS.md.

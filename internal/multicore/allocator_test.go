@@ -1,0 +1,186 @@
+package multicore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sig builds a signature whose pressure class is unambiguous.
+func sig(thread int, class PressureClass) Signature {
+	s := Signature{Thread: thread, IPC: 2}
+	switch class {
+	case ClassMemory:
+		s.L1MissRate = 0.2
+		s.IPC = 0.5
+	case ClassBranch:
+		s.MispredRate = 0.01
+		s.IPC = 1
+	}
+	return s
+}
+
+func TestSignatureClass(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Signature
+		want PressureClass
+	}{
+		{"cache-resident, well-predicted", Signature{IPC: 3}, ClassCompute},
+		{"L1-bound", Signature{L1MissRate: 0.1}, ClassMemory},
+		{"LSQ-bound", Signature{LSQFullRate: 0.1}, ClassMemory},
+		{"mispredict-bound", Signature{MispredRate: 0.01}, ClassBranch},
+		{"branch-dense", Signature{CondBrRate: 0.05}, ClassBranch},
+		{"memory wins over branch", Signature{L1MissRate: 0.1, MispredRate: 0.01}, ClassMemory},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Class(); got != tc.want {
+			t.Errorf("%s: Class() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// checkPartition asserts out is a valid canonical partition of 0..n-1.
+func checkPartition(t *testing.T, out [][]int, n, cores int) {
+	t.Helper()
+	if len(out) != cores {
+		t.Fatalf("got %d cores, want %d", len(out), cores)
+	}
+	seen := make([]bool, n)
+	for c, g := range out {
+		if len(g) != n/cores {
+			t.Fatalf("core %d has %d threads, want %d", c, len(g), n/cores)
+		}
+		for i, th := range g {
+			if th < 0 || th >= n || seen[th] {
+				t.Fatalf("core %d: bad/duplicate thread %d in %v", c, th, out)
+			}
+			seen[th] = true
+			if i > 0 && g[i-1] >= th {
+				t.Fatalf("core %d group %v not sorted ascending", c, g)
+			}
+		}
+	}
+}
+
+func TestAllocatorsProduceValidPartitions(t *testing.T) {
+	for _, name := range []string{"random", "symbiosis", "synpa"} {
+		a, err := NewAllocator(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, geom := range []struct{ n, cores int }{{4, 2}, {8, 2}, {8, 4}, {6, 3}} {
+			sigs := make([]Signature, geom.n)
+			for i := range sigs {
+				sigs[i] = sig(i, PressureClass(i%3))
+			}
+			out, err := a.Allocate(sigs, geom.cores, 7)
+			if err != nil {
+				t.Fatalf("%s %dx%d: %v", name, geom.n, geom.cores, err)
+			}
+			checkPartition(t, out, geom.n, geom.cores)
+		}
+	}
+}
+
+func TestAllocatorsAreDeterministic(t *testing.T) {
+	sigs := make([]Signature, 8)
+	for i := range sigs {
+		sigs[i] = sig(i, PressureClass(i%3))
+	}
+	for _, name := range []string{"random", "symbiosis", "synpa"} {
+		a, _ := NewAllocator(name)
+		first, err := a.Allocate(sigs, 2, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			again, err := a.Allocate(sigs, 2, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("%s: repeat allocation differs: %v vs %v", name, first, again)
+			}
+		}
+	}
+}
+
+func TestRandomAllocatorSeedSensitivity(t *testing.T) {
+	a, _ := NewAllocator("random")
+	sigs := make([]Signature, 8)
+	for i := range sigs {
+		sigs[i] = Signature{Thread: i}
+	}
+	base, _ := a.Allocate(sigs, 2, 1)
+	differs := false
+	for seed := uint64(2); seed < 12; seed++ {
+		out, _ := a.Allocate(sigs, 2, seed)
+		if !reflect.DeepEqual(base, out) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("random allocation identical across 10 seeds; not actually seeded")
+	}
+}
+
+// TestSymbiosisSnakeBalancesPressure: with four threads of strictly
+// decreasing pressure, the snake deal must pair heaviest with lightest
+// (ranks 0,3 together and 1,2 together), never stack the two heaviest.
+func TestSymbiosisSnakeBalancesPressure(t *testing.T) {
+	a, _ := NewAllocator("symbiosis")
+	sigs := []Signature{
+		{Thread: 0, L1MissRate: 0.40, IPC: 0.2}, // heaviest
+		{Thread: 1, L1MissRate: 0.30, IPC: 0.5},
+		{Thread: 2, L1MissRate: 0.20, IPC: 1.0},
+		{Thread: 3, L1MissRate: 0.00, IPC: 3.0}, // lightest
+	}
+	out, err := a.Allocate(sigs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 3}, {1, 2}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("snake deal = %v, want %v", out, want)
+	}
+}
+
+// TestSynpaSpreadsClasses: two memory-bound and two branch-bound
+// threads on two cores must end up one of each per core, not a
+// memory core and a branch core.
+func TestSynpaSpreadsClasses(t *testing.T) {
+	a, _ := NewAllocator("synpa")
+	sigs := []Signature{
+		sig(0, ClassMemory),
+		sig(1, ClassMemory),
+		sig(2, ClassBranch),
+		sig(3, ClassBranch),
+	}
+	out, err := a.Allocate(sigs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, out, 4, 2)
+	for c, g := range out {
+		if sigs[g[0]].Class() == sigs[g[1]].Class() {
+			t.Fatalf("core %d got two %v threads: %v", c, sigs[g[0]].Class(), out)
+		}
+	}
+}
+
+func TestAllocatorErrors(t *testing.T) {
+	if _, err := NewAllocator("round-robin"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	a, _ := NewAllocator("random")
+	if _, err := a.Allocate(make([]Signature, 5), 2, 1); err == nil {
+		t.Fatal("uneven partition accepted")
+	}
+	if _, err := a.Allocate(make([]Signature, 4), 1, 1); err == nil {
+		t.Fatal("single core accepted")
+	}
+	if _, err := a.Allocate(nil, 2, 1); err == nil {
+		t.Fatal("empty signature set accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package multicore
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// testConfig keeps the simulated budget small: the determinism suite
+// runs every policy several times over.
+func testConfig(policy string) core.Config {
+	cfg := core.DefaultConfig("kitchen-sink")
+	cfg.Threads = 4
+	cfg.Quanta = 4
+	cfg.FastForward = 2048
+	cfg.Cores = 2
+	cfg.Allocation = policy
+	return cfg
+}
+
+// TestRunByteIdenticalAcrossRepeatsAndGOMAXPROCS is the determinism
+// contract from the package doc: cores advance in parallel goroutines,
+// but the JSON encoding of the full result — system view, per-core
+// results, assignment, signatures — is byte-identical across repeat
+// runs and across GOMAXPROCS settings.
+func TestRunByteIdenticalAcrossRepeatsAndGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, policy := range core.AllocationPolicies {
+		var want []byte
+		for _, procs := range []int{1, 2, 8, 8} { // repeat 8 to cover same-setting reruns
+			runtime.GOMAXPROCS(procs)
+			res, err := Run(testConfig(policy))
+			if err != nil {
+				t.Fatalf("%s: %v", policy, err)
+			}
+			raw, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = raw
+				continue
+			}
+			if string(raw) != string(want) {
+				t.Fatalf("%s: result differs at GOMAXPROCS=%d", policy, procs)
+			}
+		}
+	}
+}
+
+// TestPermutationInvariance: relabeling threads (permuting the program
+// slice and the assignment with it) must relabel the results, not
+// change them. Per-core machine seeds are a function of the core index
+// only, so a core running the same programs in the same order produces
+// the same result regardless of what the threads are labeled.
+func TestPermutationInvariance(t *testing.T) {
+	cfg := testConfig("random")
+	mix, _ := trace.MixByName(cfg.MixName)
+	progs, err := mix.Programs(cfg.Threads, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgA := cfg
+	cfgA.Programs = progs
+	sysA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := sysA.RunWithAssignment([][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Relabel: thread i of system B is thread perm[i] of system A. The
+	// same programs land on the same cores in the same order.
+	perm := []int{2, 3, 0, 1}
+	progsB, err := mix.Programs(cfg.Threads, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfg
+	cfgB.Programs = make([]*trace.Program, len(perm))
+	for i, p := range perm {
+		cfgB.Programs[i] = progsB[p]
+	}
+	sysB, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := sysB.RunWithAssignment([][]int{{2, 3}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for c := range resA.PerCore {
+		if !reflect.DeepEqual(resA.PerCore[c], resB.PerCore[c]) {
+			t.Fatalf("core %d result changed under thread relabeling", c)
+		}
+	}
+	// The system per-thread view is the same data under the new labels.
+	for i, p := range perm {
+		if resB.System.PerThreadIPC[i] != resA.System.PerThreadIPC[p] {
+			t.Fatalf("PerThreadIPC[%d] = %v, want thread %d's %v",
+				i, resB.System.PerThreadIPC[i], p, resA.System.PerThreadIPC[p])
+		}
+	}
+	if resA.System.AggregateIPC != resB.System.AggregateIPC {
+		t.Fatalf("aggregate IPC changed under relabeling: %v vs %v",
+			resA.System.AggregateIPC, resB.System.AggregateIPC)
+	}
+}
+
+// TestReduceInvariants pins the aggregation rules: committed counts
+// sum, the quantum series is the sum of per-core quantum IPCs, the
+// per-core IPC vector matches the per-core results, and the system
+// per-thread view is a complete reassembly.
+func TestReduceInvariants(t *testing.T) {
+	res, err := Run(testConfig("synpa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed uint64
+	for _, r := range res.PerCore {
+		committed += r.Committed
+	}
+	if res.System.Committed != committed {
+		t.Fatalf("system committed %d != per-core sum %d", res.System.Committed, committed)
+	}
+	if got, want := len(res.System.PerCoreIPC), len(res.PerCore); got != want {
+		t.Fatalf("PerCoreIPC has %d entries, want %d", got, want)
+	}
+	for c, r := range res.PerCore {
+		if res.System.PerCoreIPC[c] != r.AggregateIPC {
+			t.Fatalf("PerCoreIPC[%d] = %v, want %v", c, res.System.PerCoreIPC[c], r.AggregateIPC)
+		}
+	}
+	for q, sum := range res.System.QuantumIPC {
+		var want float64
+		for _, r := range res.PerCore {
+			want += r.QuantumIPC[q]
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("QuantumIPC[%d] = %v, want per-core sum %v", q, sum, want)
+		}
+	}
+	for i, ipc := range res.System.PerThreadIPC {
+		if ipc <= 0 {
+			t.Fatalf("PerThreadIPC[%d] = %v: reassembly hole", i, ipc)
+		}
+	}
+	if res.System.Cores != 2 || res.System.Allocation != "synpa" {
+		t.Fatalf("system result not labeled: Cores=%d Allocation=%q",
+			res.System.Cores, res.System.Allocation)
+	}
+}
+
+// TestProfilingOnlyWhenNeeded: random must not pay the profiling pass
+// (Signatures empty), the counter-driven policies must record it.
+func TestProfilingOnlyWhenNeeded(t *testing.T) {
+	res, err := Run(testConfig("random"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Signatures) != 0 {
+		t.Fatalf("random allocation profiled anyway: %d signatures", len(res.Signatures))
+	}
+	res, err = Run(testConfig("symbiosis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Signatures) != 4 {
+		t.Fatalf("symbiosis recorded %d signatures, want 4", len(res.Signatures))
+	}
+	for i, s := range res.Signatures {
+		if s.Thread != i || s.IPC <= 0 {
+			t.Fatalf("signature %d malformed: %+v", i, s)
+		}
+	}
+}
+
+// TestSingleCoreConfigsRejected: the multi-core entry points refuse
+// single-core configs instead of silently wrapping them, so the
+// single-core path stays bit-for-bit the classic one.
+func TestSingleCoreConfigsRejected(t *testing.T) {
+	cfg := core.DefaultConfig("kitchen-sink")
+	cfg.Quanta = 1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Cores<=1 accepted by multicore.New")
+	}
+	cfg.Cores = 1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Cores=1 accepted by multicore.New")
+	}
+}
+
+// TestBadAssignmentsRejected covers the partition checker.
+func TestBadAssignmentsRejected(t *testing.T) {
+	sys, err := New(testConfig("random"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][][]int{
+		{{0, 1, 2, 3}},           // wrong core count
+		{{0, 1}, {2, 2}},         // duplicate thread
+		{{0, 1}, {2, 9}},         // out of range
+		{{0, 1, 2}, {3}},         // uneven
+		{{0, 1}, {2, 3}, {0, 1}}, // too many cores
+	}
+	for _, a := range bad {
+		if _, err := sys.RunWithAssignment(a); err == nil {
+			t.Fatalf("assignment %v accepted", a)
+		}
+	}
+}

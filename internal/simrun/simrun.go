@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/dtvm"
+	"repro/internal/multicore"
 	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/runner"
@@ -40,8 +41,15 @@ type Request struct {
 	// Kernel is DT kernel source (internal/dtvm assembly) that replaces
 	// the built-in heuristic in ADTS mode.
 	Kernel string `json:"kernel,omitempty"`
-	// Threads is the number of hardware contexts (1..8).
+	// Threads is the number of hardware contexts (1..8). With Cores > 1
+	// this is the total across the system and must divide evenly.
 	Threads int `json:"threads,omitempty"`
+	// Cores is the number of SMT cores (0/1 = classic single core;
+	// 2..8 routes the run through internal/multicore).
+	Cores int `json:"cores,omitempty"`
+	// Allocation names the thread-to-core policy for Cores > 1:
+	// "random", "symbiosis", or "synpa" ("" defaults to random).
+	Allocation string `json:"allocation,omitempty"`
 	// Quanta is the number of measured scheduling quanta.
 	Quanta int `json:"quanta,omitempty"`
 	// FastForward is cycles to simulate before measuring. 0 selects the
@@ -87,6 +95,9 @@ func (r Request) Normalize() Request {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
+	if r.Cores > 1 && r.Allocation == "" {
+		r.Allocation = "random"
+	}
 	return r
 }
 
@@ -103,6 +114,18 @@ func (r Request) Validate() error {
 	}
 	if r.Threads < 0 || r.Threads > 8 {
 		return fmt.Errorf("threads: must be in 1..8 (0 selects the default), got %d", r.Threads)
+	}
+	if r.Cores < 0 || r.Cores > 8 {
+		return fmt.Errorf("cores: must be in 1..8 (0 selects single-core), got %d", r.Cores)
+	}
+	if r.Allocation != "" {
+		if r.Cores <= 1 {
+			return fmt.Errorf("allocation: requires cores > 1, got cores=%d", r.Cores)
+		}
+		if !core.ValidAllocation(r.Allocation) {
+			return fmt.Errorf("allocation: unknown policy %q (want one of %s)",
+				r.Allocation, strings.Join(core.AllocationPolicies, ", "))
+		}
 	}
 	if r.Quanta < 0 {
 		return fmt.Errorf("quanta: must be > 0 (0 selects the default), got %d", r.Quanta)
@@ -130,6 +153,10 @@ func (r Request) Config() (core.Config, error) {
 	cfg.Quanta = r.Quanta
 	cfg.FastForward = r.FastForward
 	cfg.Seed = r.Seed
+	if r.Cores > 1 {
+		cfg.Cores = r.Cores
+		cfg.Allocation = r.Allocation
+	}
 
 	switch strings.ToLower(r.Mode) {
 	case "fixed":
@@ -197,6 +224,26 @@ func Run(ctx context.Context, cfg core.Config) (core.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return core.Result{}, err
 	}
+	if cfg.Cores > 1 {
+		// Multi-core systems run through internal/multicore, which
+		// profiles (if the policy needs it), allocates threads to
+		// cores, and reduces per-core runs into one system Result.
+		type out struct {
+			res core.Result
+			err error
+		}
+		done := make(chan out, 1)
+		go func() {
+			res, err := multicore.RunConfig(cfg)
+			done <- out{res, err}
+		}()
+		select {
+		case o := <-done:
+			return o.res, o.err
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		}
+	}
 	sim, err := core.NewSimulator(cfg)
 	if err != nil {
 		return core.Result{}, err
@@ -251,6 +298,23 @@ func Report(cfg core.Config, res core.Result, o ReportOptions) string {
 	fmt.Fprintf(&b, "cycles %d, committed %d, aggregate IPC %.3f\n", res.Cycles, res.Committed, res.AggregateIPC)
 	fmt.Fprintf(&b, "rates/cycle: mispred %.4f, L1 miss %.4f, LSQ-full %.4f, cond-br %.4f; wrong-path fetch %.1f%%\n",
 		res.MispredRate, res.L1MissRate, res.LSQFullRate, res.CondBrRate, 100*res.WrongPathFrac)
+
+	// Multi-core runs carry extra fields; single-core reports must stay
+	// byte-identical, so this section is strictly gated on Cores > 1.
+	if res.Cores > 1 {
+		fmt.Fprintf(&b, "cores %d, allocation %s\n", res.Cores, res.Allocation)
+		for c, ipc := range res.PerCoreIPC {
+			threads := ""
+			if c < len(res.Assignment) {
+				parts := make([]string, len(res.Assignment[c]))
+				for i, t := range res.Assignment[c] {
+					parts[i] = fmt.Sprintf("%d", t)
+				}
+				threads = " [threads " + strings.Join(parts, " ") + "]"
+			}
+			fmt.Fprintf(&b, "  core %d%s: IPC %.3f\n", c, threads, ipc)
+		}
+	}
 
 	if cfg.Mode == core.ModeADTS {
 		d := res.Detector

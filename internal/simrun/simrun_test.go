@@ -127,3 +127,62 @@ func TestRunHonoursCancellation(t *testing.T) {
 		t.Fatalf("Run on cancelled context: err = %v, want context.Canceled", err)
 	}
 }
+
+// TestMultiCoreRequest: cores/allocation thread through Request into
+// core.Config, the run routes through internal/multicore, and the
+// report gains the per-core section — while a single-core request's
+// config and report stay exactly what they always were.
+func TestMultiCoreRequest(t *testing.T) {
+	cfg, err := Request{Mix: "kitchen-sink", Threads: 4, Cores: 2, Quanta: 2, FastForward: -1}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cores != 2 || cfg.Allocation != "random" {
+		t.Fatalf("multi-core fields not threaded: Cores=%d Allocation=%q", cfg.Cores, cfg.Allocation)
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 2 || len(res.PerCoreIPC) != 2 || len(res.Assignment) != 2 {
+		t.Fatalf("multi-core run not routed through multicore: %+v", res)
+	}
+	rep := Report(cfg, res, ReportOptions{})
+	for _, want := range []string{"cores 2, allocation random", "core 0 [threads ", "core 1 [threads "} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("multi-core report missing %q:\n%s", want, rep)
+		}
+	}
+
+	// Single-core: config carries no multi-core fields (so hashes and
+	// digests are unchanged) and the report has no cores section.
+	single, err := Request{Mix: "kitchen-sink", Threads: 4, Cores: 1, Quanta: 2, FastForward: -1}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Cores != 0 || single.Allocation != "" {
+		t.Fatalf("single-core request leaked multi-core fields: %+v", single)
+	}
+	sres, err := Run(context.Background(), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(Report(single, sres, ReportOptions{}), "cores ") {
+		t.Fatal("single-core report grew a cores section")
+	}
+}
+
+func TestMultiCoreRequestErrors(t *testing.T) {
+	for _, r := range []Request{
+		{Cores: 99},
+		{Cores: -1},
+		{Allocation: "random"},         // allocation without cores
+		{Cores: 2, Allocation: "nope"}, // unknown policy
+		{Cores: 3, Threads: 8},         // threads don't divide
+		{Cores: 2, Threads: 1},         // 1 thread across 2 cores
+	} {
+		if _, err := r.Config(); err == nil {
+			t.Errorf("Request %+v: want error, got nil", r)
+		}
+	}
+}

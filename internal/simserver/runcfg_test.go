@@ -211,3 +211,49 @@ func TestHealthzReportsVersion(t *testing.T) {
 		t.Fatal("healthz version is empty; fleet skew logging needs it")
 	}
 }
+
+// TestRunCfgMultiCore: a Cores>1 raw config runs through the same
+// endpoint — validation accepts it, simrun routes it through
+// internal/multicore, and the reply carries the multi-core result
+// fields with a verifiable digest.
+func TestRunCfgMultiCore(t *testing.T) {
+	srv := New(Config{Workers: 2, Run: simrun.Run})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfg := testCoreConfig(t)
+	cfg.Threads = 4
+	cfg.Quanta = 2
+	cfg.FastForward = 0
+	cfg.Cores = 2
+	cfg.Allocation = "synpa"
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postRunCfg(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var reply struct {
+		Result core.Result `json:"result"`
+		Digest string      `json:"digest"`
+	}
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Result.Cores != 2 || reply.Result.Allocation != "synpa" || len(reply.Result.PerCoreIPC) != 2 {
+		t.Fatalf("multi-core fields missing from reply: %+v", reply.Result)
+	}
+	if got := simrun.ResultDigest(reply.Result); got != reply.Digest {
+		t.Fatalf("digest mismatch: computed %s, server sent %s", got, reply.Digest)
+	}
+
+	// An invalid allocation must be rejected at validation, not run.
+	cfg.Allocation = "nope"
+	body, _ = json.Marshal(cfg)
+	resp, raw = postRunCfg(t, ts.URL, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad allocation: status %d, want 400: %s", resp.StatusCode, raw)
+	}
+}

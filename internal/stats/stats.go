@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/multicore"
 	"repro/internal/runner"
 )
 
@@ -35,6 +36,11 @@ func RunnerJobs(jobs []Job) []runner.Job[core.Result] {
 			Key:     runner.KeyOf(j.Name, j.Config),
 			Payload: j.Config,
 			Run: func(context.Context) (core.Result, error) {
+				// Multi-core configs fan out through internal/multicore;
+				// the aggregate system view keeps the Result shape.
+				if j.Config.Cores > 1 {
+					return multicore.RunConfig(j.Config)
+				}
 				sim, err := core.NewSimulator(j.Config)
 				if err != nil {
 					return core.Result{}, err
@@ -75,20 +81,36 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of positive values; 0 if any value
-// is non-positive or the slice is empty.
+// GeoMean returns the geometric mean of the positive values in xs,
+// skipping non-positive entries; 0 only when no positive value exists.
+// A zero entry is a legitimate outcome here — an allocation policy can
+// starve a thread to zero IPC — and the old behaviour (any non-positive
+// value zeroed the whole mean) silently wiped summary rows that
+// contained one starved thread. Callers that must know whether values
+// were skipped use GeoMeanSkipping.
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := 0.0
+	gm, _ := GeoMeanSkipping(xs)
+	return gm
+}
+
+// GeoMeanSkipping returns the geometric mean of the positive values and
+// the number of non-positive entries it skipped. gm is 0 when every
+// value was skipped (or xs is empty); skipped lets table renderers
+// annotate a mean that does not cover the full population.
+func GeoMeanSkipping(xs []float64) (gm float64, skipped int) {
+	s, n := 0.0, 0
 	for _, x := range xs {
-		if x <= 0 {
-			return 0
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			skipped++
+			continue
 		}
 		s += math.Log(x)
+		n++
 	}
-	return math.Exp(s / float64(len(xs)))
+	if n == 0 {
+		return 0, skipped
+	}
+	return math.Exp(s / float64(n)), skipped
 }
 
 // Stddev returns the sample standard deviation; 0 for fewer than two

@@ -37,7 +37,7 @@ func TestEmptyAndDegenerateInputs(t *testing.T) {
 		{"zeros", []float64{0, 0},
 			map[string]float64{"Mean": 0, "GeoMean": 0, "Stddev": 0, "Median": 0}},
 		{"negative", []float64{-1, 1},
-			map[string]float64{"Mean": 0, "GeoMean": 0, "Stddev": math.Sqrt2, "Median": 0}},
+			map[string]float64{"Mean": 0, "GeoMean": 1, "Stddev": math.Sqrt2, "Median": 0}},
 	}
 	for _, tc := range cases {
 		for _, fn := range funcs {
@@ -63,14 +63,29 @@ func TestMean(t *testing.T) {
 }
 
 func TestGeoMean(t *testing.T) {
-	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
-		t.Fatalf("GeoMean = %v", got)
+	// One starved (zero-IPC) thread must not zero the whole mean: the
+	// non-positive entry is skipped, and GeoMeanSkipping reports it.
+	cases := []struct {
+		name    string
+		in      []float64
+		want    float64
+		skipped int
+	}{
+		{"all positive", []float64{1, 4}, 2, 0},
+		{"one starved thread", []float64{1, 4, 0}, 2, 1},
+		{"negative skipped", []float64{-3, 2, 8}, 4, 1},
+		{"nan and inf skipped", []float64{math.NaN(), math.Inf(1), 9}, 9, 2},
+		{"all non-positive", []float64{0, -1}, 0, 2},
+		{"nil", nil, 0, 0},
 	}
-	if GeoMean([]float64{1, 0}) != 0 {
-		t.Fatal("GeoMean with zero should be 0")
-	}
-	if GeoMean(nil) != 0 {
-		t.Fatal("GeoMean(nil) != 0")
+	for _, tc := range cases {
+		gm, skipped := GeoMeanSkipping(tc.in)
+		if math.Abs(gm-tc.want) > 1e-12 || skipped != tc.skipped {
+			t.Errorf("GeoMeanSkipping(%s) = (%v, %d), want (%v, %d)", tc.name, gm, skipped, tc.want, tc.skipped)
+		}
+		if got := GeoMean(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("GeoMean(%s) = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }
 
