@@ -7,13 +7,13 @@ GO ?= go
 all: build vet test
 
 # PR gate: vet + full build + race-checked tests for the concurrent
-# runner, the simulation service, the fleet client, the multi-core
-# system (parallel per-quantum core loop), and their callers, plus the
-# chaos fault-injection e2e suite.
+# runner, the simulation service, the tiered result store, the fleet
+# client, the multi-core system (parallel per-quantum core loop), and
+# their callers, plus the chaos fault-injection e2e suite.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/runner ./internal/stats ./internal/simrun ./internal/simserver ./internal/fleet ./internal/multicore
+	$(GO) test -race ./internal/runner ./internal/stats ./internal/simrun ./internal/resultstore ./internal/simserver ./internal/fleet ./internal/multicore
 	$(MAKE) chaos
 
 # Chaos suite: deterministic fault injection end to end (docs/chaos.md).
@@ -43,7 +43,7 @@ bench:
 # file embeds the previous PR's under "baseline", so the committed file
 # reads as the whole trajectory.
 bench-json: tools
-	./bin/simbench -out BENCH_PR7.json -baseline BENCH_PR6.json
+	./bin/simbench -out BENCH_PR8.json -baseline BENCH_PR7.json
 
 # Regenerate (or, in CI, verify — see .github/workflows/ci.yml) the
 # committed golden multi-core experiment: a quick 2-core allocation

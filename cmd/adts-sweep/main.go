@@ -18,11 +18,16 @@
 //	adts-sweep -fig8 -resume sweep.jsonl         # continue after Ctrl-C
 //	adts-sweep -table1 -json > table1.json       # machine-readable
 //	adts-sweep -all -backends sim1:8080,sim2:8080,sim3:8080   # distributed
+//	adts-sweep -all -backends sim1:8080,sim2:8080 -batch -peer-lookup
 //
 // With -backends, each simulation is dispatched to a pool of smtsimd
 // servers (least-loaded, with health probing, retries, and circuit
 // breakers — see docs/fleet.md); results are byte-identical to a local
-// run, and -checkpoint/-resume work unchanged.
+// run, and -checkpoint/-resume work unchanged. -batch ships runs as
+// chunked POST /v1/batch streams (one request per chunk instead of per
+// run), and -peer-lookup consults every backend's result store before
+// dispatching, so a fleet that has seen a config anywhere never
+// re-simulates it (see docs/resultstore.md).
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/profiling"
+	"repro/internal/resultstore"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -72,6 +78,9 @@ func main() {
 		jsonF       = flag.Bool("json", false, "emit machine-readable JSON results to stdout instead of tables")
 
 		backendsF     = flag.String("backends", "", "comma-separated smtsimd backends (host:port or URL) to shard runs across")
+		batchF        = flag.Bool("batch", false, "with -backends: ship runs in chunked POST /v1/batch streams instead of one request per run")
+		batchSizeF    = flag.Int("batch-size", 0, "with -batch: configs per batch chunk (0 = default 64)")
+		peerLookupF   = flag.Bool("peer-lookup", false, "with -backends: ask every backend's result store before dispatching a run")
 		hedgeF        = flag.Bool("hedge", false, "with -backends: hedge slow requests to a second backend")
 		maxRetriesF   = flag.Int("max-retries", 3, "with -backends: re-dispatches per run after a failure (-1 disables)")
 		fleetMetricsF = flag.Bool("fleet-metrics", false, "with -backends: print fleet client metrics to stderr on exit")
@@ -139,25 +148,41 @@ func main() {
 	// are byte-identical to local execution, so checkpoints written
 	// locally resume remotely and vice versa.
 	if *backendsF != "" {
+		backends := splitMixes(*backendsF) // same comma-list parsing
+		var peers resultstore.PeerLookup
+		if *peerLookupF {
+			var err error
+			peers, err = fleet.NewPeerLookup(backends, 0)
+			if err != nil {
+				fatalf("fleet: %v", err)
+			}
+		}
 		fc, err := fleet.New(fleet.Config{
-			Backends:   splitMixes(*backendsF), // same comma-list parsing
+			Backends:   backends,
 			MaxRetries: *maxRetriesF,
 			Hedge:      *hedgeF,
 			AuditRate:  *auditRateF,
 			AuditSeed:  *auditSeedF,
+			BatchSize:  *batchSizeF,
+			PeerLookup: peers,
 			Log:        os.Stderr,
 		})
 		if err != nil {
 			fatalf("fleet: %v", err)
 		}
 		defer fc.Close()
-		o.Executor = fc.Executor()
-		fmt.Fprintf(os.Stderr, "dispatching runs across %d backend(s)\n", fc.Backends())
+		if *batchF {
+			o.Executor = fc.BatchExecutor()
+			fmt.Fprintf(os.Stderr, "batch-dispatching runs across %d backend(s)\n", fc.Backends())
+		} else {
+			o.Executor = fc.Executor()
+			fmt.Fprintf(os.Stderr, "dispatching runs across %d backend(s)\n", fc.Backends())
+		}
 		if *fleetMetricsF {
 			defer fc.WriteMetrics(os.Stderr)
 		}
-	} else if *hedgeF || *fleetMetricsF || *auditRateF != 0 {
-		fatalf("-hedge, -fleet-metrics, and -audit-rate require -backends")
+	} else if *hedgeF || *fleetMetricsF || *auditRateF != 0 || *batchF || *peerLookupF {
+		fatalf("-batch, -peer-lookup, -hedge, -fleet-metrics, and -audit-rate require -backends")
 	}
 
 	// Ctrl-C / SIGTERM cancels the sweep context: in-flight runs drain

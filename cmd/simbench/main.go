@@ -25,18 +25,25 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/multicore"
 	"repro/internal/pipeline"
+	"repro/internal/resultstore"
+	"repro/internal/simserver"
 	"repro/internal/trace"
 )
 
@@ -86,14 +93,31 @@ type multicoreStats struct {
 	DualSimIPC    float64 `json:"dual_core_sim_ipc"`
 }
 
+// batchStats times the same batch sweep twice against one smtsimd
+// instance with a disk-backed result store: the cold pass simulates
+// every item, the warm pass must be pure store reads (zero
+// simulations). The ratio is what the tiered store is worth to a
+// repeated sweep.
+type batchStats struct {
+	Mix             string  `json:"mix"`
+	Threads         int     `json:"threads"`
+	Items           int     `json:"items"`
+	ColdNs          float64 `json:"cold_ns_per_item"`
+	WarmNs          float64 `json:"warm_ns_per_item"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+	WarmCached      int     `json:"warm_cached"`
+	WarmSimulations int     `json:"warm_simulations"`
+}
+
 type report struct {
-	Version   string          `json:"version"`
-	Go        string          `json:"go"`
-	GOARCH    string          `json:"goarch"`
-	Command   string          `json:"command"`
-	Cells     []cell          `json:"cells"`
-	Multicore *multicoreStats `json:"multicore,omitempty"`
-	Baseline  json.RawMessage `json:"baseline,omitempty"`
+	Version    string          `json:"version"`
+	Go         string          `json:"go"`
+	GOARCH     string          `json:"goarch"`
+	Command    string          `json:"command"`
+	Cells      []cell          `json:"cells"`
+	Multicore  *multicoreStats `json:"multicore,omitempty"`
+	BatchSweep *batchStats     `json:"batch_sweep,omitempty"`
+	Baseline   json.RawMessage `json:"baseline,omitempty"`
 }
 
 func main() {
@@ -145,6 +169,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "simbench: multi-core scaling (1 vs 2 cores)\n")
 	mc := measureMultiCore("kitchen-sink", 8, runIters)
 	rep.Multicore = &mc
+
+	fmt.Fprintf(os.Stderr, "simbench: batch sweep, cold vs warm store\n")
+	bs := measureBatchSweep("kitchen-sink", 4, *quick)
+	rep.BatchSweep = &bs
 
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
@@ -321,6 +349,102 @@ func measureMultiCore(mixName string, threads int, iters string) multicoreStats 
 		WallSpeedup:   sn / dn,
 		SingleSimIPC:  singleIPC,
 		DualSimIPC:    dualIPC,
+	}
+}
+
+// measureBatchSweep runs one POST /v1/batch sweep twice against an
+// in-process smtsimd with a temp-dir disk store. The cold pass
+// simulates every config; the warm pass must come back entirely from
+// the store (the trailer's cached count is recorded so a regression
+// shows up in the committed JSON, not just in wall clock).
+func measureBatchSweep(mixName string, threads int, quick bool) batchStats {
+	items, quanta := 8, 8
+	if quick {
+		items, quanta = 4, 2
+	}
+	dir, err := os.MkdirTemp("", "simbench-store-*")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	disk, err := resultstore.OpenDisk(dir, resultstore.DiskOptions{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv := simserver.New(simserver.Config{
+		Store: resultstore.NewTiered(resultstore.NewMemory(2*items), disk, nil),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Shutdown(context.Background())
+	}()
+
+	cfgs := make([]core.Config, items)
+	for i := range cfgs {
+		cfg := core.DefaultConfig(mixName)
+		cfg.Threads = threads
+		cfg.Quanta = quanta
+		cfg.Seed = uint64(i + 1)
+		cfgs[i] = cfg
+	}
+	body, err := json.Marshal(map[string]any{"configs": cfgs})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	pass := func() (time.Duration, int) {
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatalf("batch sweep: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatalf("batch sweep: status %d", resp.StatusCode)
+		}
+		var cached int
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var line struct {
+				Trailer bool   `json:"trailer"`
+				Error   string `json:"error"`
+				Cached  int    `json:"cached_total"`
+			}
+			if err := dec.Decode(&line); err != nil {
+				fatalf("batch sweep: truncated stream: %v", err)
+			}
+			if line.Error != "" {
+				fatalf("batch sweep: item failed: %s", line.Error)
+			}
+			if line.Trailer {
+				cached = line.Cached
+				break
+			}
+		}
+		return time.Since(start), cached
+	}
+
+	coldDur, coldCached := pass()
+	if coldCached != 0 {
+		fatalf("batch sweep: cold pass reported %d cached items", coldCached)
+	}
+	// Drop the memory tier so the warm pass exercises the disk store,
+	// not just the LRU.
+	srv.Store().Memory().Clear()
+	warmDur, warmCached := pass()
+
+	cold := float64(coldDur.Nanoseconds()) / float64(items)
+	warm := float64(warmDur.Nanoseconds()) / float64(items)
+	return batchStats{
+		Mix:             mixName,
+		Threads:         threads,
+		Items:           items,
+		ColdNs:          cold,
+		WarmNs:          warm,
+		WarmSpeedup:     cold / warm,
+		WarmCached:      warmCached,
+		WarmSimulations: items - warmCached,
 	}
 }
 

@@ -1,19 +1,24 @@
 // Command smtsimd serves SMT simulations over HTTP: the same knobs as
-// cmd/smtsim, behind a deduplicating result cache and admission control
-// (see internal/simserver and docs/simserver.md).
+// cmd/smtsim, behind a tiered result store and admission control
+// (see internal/simserver, internal/resultstore, docs/simserver.md,
+// and docs/resultstore.md).
 //
 // Usage:
 //
-//	smtsimd -addr :8080 -workers 4 -queue 16 -cache 256
+//	smtsimd -addr :8080 -workers 4 -queue 16 -cache 256 \
+//	    -store-dir /var/lib/smtsimd -store-max-bytes 268435456
 //
 //	curl -s localhost:8080/v1/mixes
 //	curl -s -X POST localhost:8080/v1/run \
 //	    -d '{"mix":"int-memory","mode":"adts","heuristic":"Type 3","m":2}'
 //	curl -s localhost:8080/metrics
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, active
-// requests and in-flight simulations drain (bounded by -drain), then the
-// process exits.
+// -store-dir enables the content-addressed disk tier: results survive
+// restarts, and a warm daemon answers repeated sweeps without running a
+// single simulation. SIGINT/SIGTERM trigger a graceful shutdown: the
+// listener stops, active requests and in-flight simulations drain
+// (bounded by -drain), then the disk store's index is fsynced and
+// closed before the process exits.
 package main
 
 import (
@@ -28,19 +33,22 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/resultstore"
 	"repro/internal/simserver"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 16, "admission queue depth beyond running simulations (-1 = none)")
-		cache   = flag.Int("cache", 256, "result cache entries (LRU)")
-		timeout = flag.Duration("timeout", 120*time.Second, "per-simulation timeout")
-		retry   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
-		version = flag.Bool("version", false, "print version and exit")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 16, "admission queue depth beyond running simulations (-1 = none)")
+		cache    = flag.Int("cache", 256, "result cache entries (LRU)")
+		timeout  = flag.Duration("timeout", 120*time.Second, "per-simulation timeout")
+		retry    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		storeDir = flag.String("store-dir", "", "content-addressed disk store directory (empty = memory only)")
+		storeMax = flag.Int64("store-max-bytes", 256<<20, "disk store size bound before oldest-access eviction")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -52,12 +60,24 @@ func main() {
 	if qd == 0 {
 		qd = -1 // flag 0 means "no queue"; Config 0 means "default"
 	}
+	var store *resultstore.Tiered
+	if *storeDir != "" {
+		disk, err := resultstore.OpenDisk(*storeDir, resultstore.DiskOptions{
+			MaxBytes: *storeMax,
+			Log:      os.Stderr,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("opening -store-dir: %w", err))
+		}
+		store = resultstore.NewTiered(resultstore.NewMemory(*cache), disk, nil)
+	}
 	srv := simserver.New(simserver.Config{
 		Workers:      *workers,
 		QueueDepth:   qd,
 		CacheEntries: *cache,
 		RunTimeout:   *timeout,
 		RetryAfter:   *retry,
+		Store:        store,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -87,6 +107,14 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "smtsimd: drain: %v\n", err)
 		os.Exit(1)
+	}
+	// Only after the drain: every settled flight has written its entry,
+	// so closing now fsyncs a complete disk index.
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "smtsimd: closing store: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "smtsimd: drained, bye")
 }

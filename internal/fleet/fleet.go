@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resultstore"
 	"repro/internal/runner"
 	"repro/internal/simrun"
 )
@@ -87,6 +88,15 @@ type Config struct {
 	// pool until the process restarts); <= 0 selects 3. Audit-vote
 	// losses quarantine immediately regardless of this threshold.
 	QuarantineThreshold int
+	// BatchSize bounds one POST /v1/batch chunk shipped to a single
+	// backend by RunBatch; <= 0 selects 64. Larger batches amortize
+	// round trips, smaller ones spread a sweep across more backends.
+	BatchSize int
+	// PeerLookup, when non-nil, is consulted before dispatching a
+	// config (the tier-2 read path): a digest-verified result already
+	// stored anywhere in the fleet short-circuits the dispatch
+	// entirely. Build one with NewPeerLookup over the pool addresses.
+	PeerLookup resultstore.PeerLookup
 	// HTTPClient overrides the transport; nil selects a dedicated
 	// client (timeouts come from request contexts).
 	HTTPClient *http.Client
@@ -164,6 +174,9 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.QuarantineThreshold <= 0 {
 		cfg.QuarantineThreshold = 3
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
 	}
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
@@ -285,6 +298,16 @@ func (c *Client) noteDigestMismatch(b *backend) {
 // the last dispatch error.
 func (c *Client) Run(ctx context.Context, simCfg core.Config) (core.Result, error) {
 	var zero core.Result
+	// Tier-2 read path: a result already stored anywhere in the fleet
+	// (verified end to end by the peer client) costs one GET instead of
+	// a simulation slot.
+	if c.cfg.PeerLookup != nil {
+		if e, ok := c.cfg.PeerLookup.Lookup(ctx, "cfg:"+simrun.Key(simCfg)); ok {
+			c.metrics.peerHits.Add(1)
+			return e.Result, nil
+		}
+		c.metrics.peerMisses.Add(1)
+	}
 	body, err := json.Marshal(simCfg)
 	if err != nil {
 		return zero, fmt.Errorf("fleet: encoding config: %w", err)

@@ -1,0 +1,440 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultDiskMaxBytes bounds a disk store when the caller passes no
+// budget: 256 MiB, roughly 100k entries at typical result sizes.
+const DefaultDiskMaxBytes = 256 << 20
+
+// indexFile persists the access order across restarts so eviction
+// stays oldest-access (not oldest-mtime) after a clean shutdown. It is
+// advisory: a missing or corrupt index costs eviction precision, never
+// correctness, because the directory scan is the source of truth for
+// which entries exist.
+const indexFile = "index.json"
+
+// quarantineDir is where corrupt or truncated entry files are moved.
+// Quarantined files are kept (not deleted) so an operator can inspect
+// what went wrong; they are never re-read by the store.
+const quarantineDir = "quarantine"
+
+// tmpPrefix marks in-progress writes. A crash can strand them; startup
+// sweeps them away.
+const tmpPrefix = ".tmp-"
+
+// DiskOptions tunes a disk store beyond the directory and byte budget.
+type DiskOptions struct {
+	// MaxBytes bounds the sum of entry file sizes; <= 0 selects
+	// DefaultDiskMaxBytes. Inserting past the bound evicts
+	// oldest-accessed entries first.
+	MaxBytes int64
+	// Log receives operational warnings (quarantined files, failed
+	// evictions); nil discards them.
+	Log io.Writer
+	// WrapWriter, when non-nil, wraps the file handle every entry and
+	// index write goes through. Tests inject chaos.Writer here to tear
+	// writes mid-record; production passes nil.
+	WrapWriter func(io.WriteCloser) io.WriteCloser
+}
+
+// Disk is the tier-1 store: one file per entry, named by the entry
+// key, holding the entry's canonical JSON. Writes go to a temp file
+// and are renamed into place, so a reader (or a crash) never observes
+// a half-written entry under a valid name. Reads re-verify the result
+// digest and quarantine any file that fails to parse or verify. It is
+// safe for concurrent use.
+type Disk struct {
+	dir  string
+	opts DiskOptions
+
+	mu    sync.Mutex
+	index map[string]*diskEntry
+	bytes int64
+	seq   int64 // monotonic access clock
+	open  bool
+
+	evictions   atomic.Int64
+	quarantines atomic.Int64
+	putErrors   atomic.Int64
+}
+
+type diskEntry struct {
+	size   int64
+	access int64 // seq of the last Get/Put; smallest evicts first
+}
+
+// persistedIndex is the on-disk shape of the access clock.
+type persistedIndex struct {
+	Access map[string]int64 `json:"access"`
+}
+
+// diskRecord is the on-disk envelope around an entry. The result
+// digest inside the entry only covers the simulation result, so the
+// envelope carries a checksum of the whole entry JSON: a bit flip
+// anywhere in the file — report, request echo, digest field, or the
+// checksum itself — fails verification on read.
+type diskRecord struct {
+	SHA256 string          `json:"sha256"`
+	Entry  json.RawMessage `json:"entry"`
+}
+
+func recordSum(entryJSON []byte) string {
+	sum := sha256.Sum256(entryJSON)
+	return hex.EncodeToString(sum[:])
+}
+
+// OpenDisk opens (creating if needed) a tier-1 store rooted at dir.
+// Startup rebuilds the index by scanning the directory: stranded temp
+// files are removed, unparsable or truncated entry files are
+// quarantined instead of crashing the daemon, and the persisted access
+// clock (written by Close) is applied where it matches a surviving
+// file.
+func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultDiskMaxBytes
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	d := &Disk{dir: dir, opts: opts, index: make(map[string]*diskEntry), open: true}
+	if err := d.scan(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.evictLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+// scan rebuilds the index from the directory contents, applying the
+// persisted access clock when one survives.
+func (d *Disk) scan() error {
+	access := d.loadIndex()
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	var maxSeq int64
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || name == indexFile {
+			continue
+		}
+		path := filepath.Join(d.dir, name)
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(path) // stranded in-progress write
+			continue
+		}
+		key, ok := keyFromFile(name)
+		if !ok {
+			d.quarantine(path, "unrecognized file name")
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		if info.Size() == 0 {
+			d.quarantine(path, "empty (truncated write)")
+			continue
+		}
+		// A cheap structural check: the file must parse as a record
+		// whose entry key matches its name. The checksum and digest are
+		// re-verified on every read, so startup stays O(store size) in
+		// I/O but does not pay a SHA-256 per entry.
+		var rec diskRecord
+		var e Entry
+		raw, err := os.ReadFile(path)
+		if err != nil || json.Unmarshal(raw, &rec) != nil ||
+			json.Unmarshal(rec.Entry, &e) != nil || e.Key != key {
+			d.quarantine(path, "corrupt or mismatched entry")
+			continue
+		}
+		seq := access[key]
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		d.index[key] = &diskEntry{size: info.Size(), access: seq}
+		d.bytes += info.Size()
+	}
+	d.seq = maxSeq + 1
+	return nil
+}
+
+// loadIndex reads the persisted access clock; any failure returns an
+// empty clock (scan order decides eviction until accesses accrue).
+func (d *Disk) loadIndex() map[string]int64 {
+	raw, err := os.ReadFile(filepath.Join(d.dir, indexFile))
+	if err != nil {
+		return nil
+	}
+	var idx persistedIndex
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		fmt.Fprintf(d.opts.Log, "resultstore: ignoring corrupt index in %s: %v\n", d.dir, err)
+		return nil
+	}
+	return idx.Access
+}
+
+// fileFromKey maps a store key to its file name: ":" (the raw-config
+// prefix separator) becomes "-", which cannot appear in a hex hash, so
+// the mapping is reversible for every valid key.
+func fileFromKey(key string) string {
+	return strings.ReplaceAll(key, ":", "-") + ".json"
+}
+
+// keyFromFile inverts fileFromKey; ok is false for names the store
+// never writes.
+func keyFromFile(name string) (string, bool) {
+	base, found := strings.CutSuffix(name, ".json")
+	if !found || base == "" {
+		return "", false
+	}
+	key := strings.Replace(base, "-", ":", 1)
+	if !ValidKey(key) {
+		return "", false
+	}
+	return key, true
+}
+
+// Get reads an entry, re-verifies its digest, and returns it. A file
+// that fails to read, parse, or verify is quarantined and reported as
+// a miss — a torn or bit-flipped store file costs one re-simulation,
+// never a wrong result and never a crash.
+func (d *Disk) Get(key string) (*Entry, bool) {
+	if !ValidKey(key) {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return nil, false
+	}
+	ent, ok := d.index[key]
+	if !ok {
+		return nil, false
+	}
+	path := filepath.Join(d.dir, fileFromKey(key))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		delete(d.index, key)
+		d.bytes -= ent.size
+		return nil, false
+	}
+	var rec diskRecord
+	var e Entry
+	if err := json.Unmarshal(raw, &rec); err != nil ||
+		recordSum(rec.Entry) != rec.SHA256 ||
+		json.Unmarshal(rec.Entry, &e) != nil || e.Key != key || !e.Verify() {
+		d.quarantine(path, "failed integrity verification")
+		delete(d.index, key)
+		d.bytes -= ent.size
+		return nil, false
+	}
+	ent.access = d.seq
+	d.seq++
+	return &e, true
+}
+
+// Put writes the entry atomically: canonical JSON into a temp file,
+// fsync, rename into place. Oldest-accessed entries are evicted until
+// the store fits its byte budget. Entries that fail verification are
+// refused — the disk tier never persists bytes it could not serve.
+func (d *Disk) Put(e *Entry) error {
+	if e == nil || !ValidKey(e.Key) {
+		return errors.New("resultstore: invalid entry key")
+	}
+	if !e.Verify() {
+		d.putErrors.Add(1)
+		return fmt.Errorf("resultstore: refusing to persist unverifiable entry %s", e.Key)
+	}
+	entryJSON, err := json.Marshal(e)
+	if err != nil {
+		d.putErrors.Add(1)
+		return fmt.Errorf("resultstore: encoding entry: %w", err)
+	}
+	raw, err := json.Marshal(diskRecord{SHA256: recordSum(entryJSON), Entry: entryJSON})
+	if err != nil {
+		d.putErrors.Add(1)
+		return fmt.Errorf("resultstore: encoding record: %w", err)
+	}
+	raw = append(raw, '\n')
+	size := int64(len(raw))
+	if size > d.opts.MaxBytes {
+		d.putErrors.Add(1)
+		return fmt.Errorf("resultstore: entry %s (%d bytes) exceeds the store budget", e.Key, size)
+	}
+
+	if err := d.writeAtomic(fileFromKey(e.Key), raw); err != nil {
+		d.putErrors.Add(1)
+		return err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return errors.New("resultstore: store closed")
+	}
+	if old, ok := d.index[e.Key]; ok {
+		d.bytes -= old.size
+	}
+	d.index[e.Key] = &diskEntry{size: size, access: d.seq}
+	d.seq++
+	d.bytes += size
+	d.evictLocked()
+	return nil
+}
+
+// writeAtomic lands raw at name via temp file + fsync + rename, so a
+// crash mid-write strands a temp file (swept at startup) instead of a
+// truncated entry under a valid name.
+func (d *Disk) writeAtomic(name string, raw []byte) error {
+	f, err := os.CreateTemp(d.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp := f.Name()
+	var w io.WriteCloser = f
+	if d.opts.WrapWriter != nil {
+		w = d.opts.WrapWriter(f)
+	}
+	if _, err := w.Write(raw); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: writing %s: %w", name, err)
+	}
+	if s, ok := w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("resultstore: syncing %s: %w", name, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return nil
+}
+
+// evictLocked removes oldest-accessed entries until the store fits its
+// budget. Caller holds d.mu.
+func (d *Disk) evictLocked() {
+	if d.bytes <= d.opts.MaxBytes {
+		return
+	}
+	type victim struct {
+		key    string
+		access int64
+		size   int64
+	}
+	victims := make([]victim, 0, len(d.index))
+	for k, ent := range d.index {
+		victims = append(victims, victim{k, ent.access, ent.size})
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].access != victims[j].access {
+			return victims[i].access < victims[j].access
+		}
+		return victims[i].key < victims[j].key
+	})
+	for _, v := range victims {
+		if d.bytes <= d.opts.MaxBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(d.dir, fileFromKey(v.key))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(d.opts.Log, "resultstore: evicting %s: %v\n", v.key, err)
+			continue
+		}
+		delete(d.index, v.key)
+		d.bytes -= v.size
+		d.evictions.Add(1)
+	}
+}
+
+// quarantine moves a bad file aside (keeping it for inspection) and
+// counts it. Failures fall back to removal: a file that can neither be
+// moved nor removed would otherwise be re-quarantined forever.
+func (d *Disk) quarantine(path, why string) {
+	d.quarantines.Add(1)
+	qdir := filepath.Join(d.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err == nil {
+			fmt.Fprintf(d.opts.Log, "resultstore: quarantined %s: %s\n", filepath.Base(path), why)
+			return
+		}
+	}
+	os.Remove(path)
+	fmt.Fprintf(d.opts.Log, "resultstore: removed unquarantinable %s: %s\n", filepath.Base(path), why)
+}
+
+// Close persists the access clock (temp file + fsync + rename, same
+// crash discipline as entries) and marks the store closed. The graceful
+// drain path calls it on SIGTERM so a restarted daemon evicts in true
+// oldest-access order instead of directory order.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.open {
+		return nil
+	}
+	d.open = false
+	idx := persistedIndex{Access: make(map[string]int64, len(d.index))}
+	for k, ent := range d.index {
+		idx.Access[k] = ent.access
+	}
+	raw, err := json.Marshal(idx)
+	if err != nil {
+		return fmt.Errorf("resultstore: encoding index: %w", err)
+	}
+	return d.writeAtomic(indexFile, append(raw, '\n'))
+}
+
+// Len reports resident entries.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.index)
+}
+
+// Bytes reports resident entry bytes.
+func (d *Disk) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// MaxBytes reports the configured byte budget.
+func (d *Disk) MaxBytes() int64 { return d.opts.MaxBytes }
+
+// Evictions reports entries evicted by the byte budget.
+func (d *Disk) Evictions() int64 { return d.evictions.Load() }
+
+// Quarantines reports files moved aside as corrupt or truncated.
+func (d *Disk) Quarantines() int64 { return d.quarantines.Load() }
+
+// PutErrors reports failed persist attempts.
+func (d *Disk) PutErrors() int64 { return d.putErrors.Load() }
+
+// Dir reports the store root.
+func (d *Disk) Dir() string { return d.dir }

@@ -1,0 +1,143 @@
+package resultstore
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PeerConfig tunes a PeerClient. Zero values select the documented
+// defaults.
+type PeerConfig struct {
+	// Peers are smtsimd base URLs to consult (already normalized; the
+	// fleet client passes its backend pool).
+	Peers []string
+	// Timeout bounds one whole lookup (all peers, in parallel); <= 0
+	// selects 500ms. Peer lookups are an optimization on the way to a
+	// simulation, so the budget is deliberately tight: a slow peer must
+	// never cost more than the simulation it would have saved.
+	Timeout time.Duration
+	// HTTPClient overrides the transport; nil selects a dedicated
+	// client.
+	HTTPClient *http.Client
+}
+
+// PeerClient is the tier-2 read path: GET /v1/result/{key} against
+// every peer in parallel, first verified hit wins. Keys that every
+// peer missed are remembered (negative-lookup short-circuit) so a
+// sweep full of new configs pays the peer round-trip once per key, not
+// once per retry. All failures — timeouts, resets, corrupt bodies,
+// digest mismatches — are misses; chaos on the peer path can cost
+// latency, never correctness.
+type PeerClient struct {
+	cfg  PeerConfig
+	http *http.Client
+
+	neg sync.Map // key -> struct{}: every peer missed, don't re-ask
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	negSkips  atomic.Int64
+	errsTotal atomic.Int64
+}
+
+// NewPeerClient builds a tier-2 lookup client over the given peers.
+func NewPeerClient(cfg PeerConfig) *PeerClient {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	c := &PeerClient{cfg: cfg, http: cfg.HTTPClient}
+	if c.http == nil {
+		c.http = &http.Client{}
+	}
+	return c
+}
+
+// Lookup implements PeerLookup: it asks every peer for the key in
+// parallel and returns the first entry that digest-verifies. A key no
+// peer had is negative-cached and short-circuits future lookups.
+func (p *PeerClient) Lookup(ctx context.Context, key string) (*Entry, bool) {
+	if len(p.cfg.Peers) == 0 || !ValidKey(key) {
+		return nil, false
+	}
+	if _, known := p.neg.Load(key); known {
+		p.negSkips.Add(1)
+		return nil, false
+	}
+
+	lctx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
+	defer cancel()
+
+	results := make(chan *Entry, len(p.cfg.Peers))
+	var wg sync.WaitGroup
+	for _, peer := range p.cfg.Peers {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			results <- p.fetch(lctx, base, key)
+		}(peer)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	for e := range results {
+		if e != nil {
+			cancel() // losers are abandoned
+			p.hits.Add(1)
+			return e, true
+		}
+	}
+	p.misses.Add(1)
+	p.neg.Store(key, struct{}{})
+	return nil, false
+}
+
+// fetch asks one peer; any failure is a nil (miss).
+func (p *PeerClient) fetch(ctx context.Context, base, key string) *Entry {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/result/"+key, nil)
+	if err != nil {
+		p.errsTotal.Add(1)
+		return nil
+	}
+	resp, err := p.http.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			p.errsTotal.Add(1)
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return nil
+	}
+	var e Entry
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&e); err != nil {
+		p.errsTotal.Add(1)
+		return nil
+	}
+	if e.Key != key || !e.Verify() {
+		p.errsTotal.Add(1)
+		return nil
+	}
+	return &e
+}
+
+// Forget drops a key from the negative cache (a peer may have it now).
+func (p *PeerClient) Forget(key string) { p.neg.Delete(key) }
+
+// Hits reports verified peer hits.
+func (p *PeerClient) Hits() int64 { return p.hits.Load() }
+
+// Misses reports completed lookups where no peer had the key.
+func (p *PeerClient) Misses() int64 { return p.misses.Load() }
+
+// NegativeSkips reports lookups short-circuited by the negative cache.
+func (p *PeerClient) NegativeSkips() int64 { return p.negSkips.Load() }
+
+// Errors reports individual peer requests that failed or returned
+// unverifiable bytes.
+func (p *PeerClient) Errors() int64 { return p.errsTotal.Load() }

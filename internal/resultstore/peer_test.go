@@ -1,0 +1,126 @@
+package resultstore
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// peerServer serves /v1/result/{key} from a canned map, the way
+// smtsimd does.
+func peerServer(t *testing.T, entries map[string]*Entry, requests *atomic.Int64) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/result/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if requests != nil {
+			requests.Add(1)
+		}
+		e, ok := entries[r.PathValue("key")]
+		if !ok {
+			http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(e)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestPeerLookupFirstVerifiedHitWins(t *testing.T) {
+	e := testEntry("cfg:9999aaaabbbbcccc", 1)
+	empty := peerServer(t, nil, nil)
+	full := peerServer(t, map[string]*Entry{e.Key: e}, nil)
+
+	p := NewPeerClient(PeerConfig{Peers: []string{empty, full}})
+	got, ok := p.Lookup(context.Background(), e.Key)
+	if !ok || got.Digest != e.Digest {
+		t.Fatalf("Lookup = (%v, %v), want the stored entry", got, ok)
+	}
+	if p.Hits() != 1 {
+		t.Fatalf("Hits = %d, want 1", p.Hits())
+	}
+}
+
+func TestPeerLookupRejectsUnverifiableEntry(t *testing.T) {
+	e := testEntry("cfg:dddd0000eeee1111", 2)
+	lie := *e
+	lie.Result.AggregateIPC *= 2 // digest no longer matches
+	peer := peerServer(t, map[string]*Entry{e.Key: &lie}, nil)
+
+	p := NewPeerClient(PeerConfig{Peers: []string{peer}})
+	if _, ok := p.Lookup(context.Background(), e.Key); ok {
+		t.Fatal("Lookup served an entry whose digest does not verify")
+	}
+	if p.Errors() == 0 {
+		t.Fatal("unverifiable entry not counted as an error")
+	}
+}
+
+func TestPeerNegativeLookupShortCircuits(t *testing.T) {
+	var requests atomic.Int64
+	peer := peerServer(t, nil, &requests)
+	p := NewPeerClient(PeerConfig{Peers: []string{peer}})
+
+	key := "cfg:2222333344445555"
+	for i := 0; i < 3; i++ {
+		if _, ok := p.Lookup(context.Background(), key); ok {
+			t.Fatal("phantom hit")
+		}
+	}
+	if got := requests.Load(); got != 1 {
+		t.Fatalf("peer asked %d times, want 1 (negative cache short-circuit)", got)
+	}
+	if p.NegativeSkips() != 2 {
+		t.Fatalf("NegativeSkips = %d, want 2", p.NegativeSkips())
+	}
+
+	p.Forget(key)
+	p.Lookup(context.Background(), key)
+	if got := requests.Load(); got != 2 {
+		t.Fatalf("Forget did not reopen the key: %d requests", got)
+	}
+}
+
+// TestPeerLookupSurvivesDeadAndSlowPeers is the chaos-tolerance
+// contract: a dead peer and a hanging peer must cost at most the
+// lookup timeout, and a healthy peer alongside them still answers.
+func TestPeerLookupSurvivesDeadAndSlowPeers(t *testing.T) {
+	e := testEntry("cfg:6666777788889999", 3)
+	healthy := peerServer(t, map[string]*Entry{e.Key: e}, nil)
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused
+
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hang.Close)
+
+	p := NewPeerClient(PeerConfig{
+		Peers:   []string{dead.URL, hang.URL, healthy},
+		Timeout: 2 * time.Second,
+	})
+	start := time.Now()
+	got, ok := p.Lookup(context.Background(), e.Key)
+	if !ok || got.Digest != e.Digest {
+		t.Fatal("healthy peer's entry lost among the chaos")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("lookup took %s: a hanging peer must not stall a hit", elapsed)
+	}
+
+	// All peers broken: a miss, bounded by the timeout, not a hang.
+	pBroken := NewPeerClient(PeerConfig{Peers: []string{dead.URL, hang.URL}, Timeout: 200 * time.Millisecond})
+	start = time.Now()
+	if _, ok := pBroken.Lookup(context.Background(), e.Key); ok {
+		t.Fatal("hit from broken peers")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("broken-pool lookup took %s, want ~timeout", elapsed)
+	}
+}

@@ -1,0 +1,197 @@
+// Package resultstore is the tiered simulation-result store behind
+// smtsimd and the fleet client: one Get/Put surface over three tiers
+// with strictly increasing latency and strictly increasing reach —
+//
+//   - tier 0 "memory": a fixed-capacity in-process LRU (the former
+//     simserver cache, generalized). Nanoseconds, per-daemon.
+//   - tier 1 "disk": a content-addressed on-disk store of canonical
+//     JSON entries keyed by config hash, written via atomic rename,
+//     integrity-re-verified on every read, size-bounded with
+//     oldest-access eviction, and rebuilt by directory scan on
+//     startup. Microseconds, survives restarts.
+//   - tier 2 "peer": GET /v1/result/{key} against the other daemons in
+//     the fleet, with a negative-lookup short-circuit and
+//     chaos-tolerant timeouts. Milliseconds, fleet-wide.
+//
+// Simulations are deterministic functions of their config and results
+// are SHA-256-digested end to end (simrun.ResultDigest), so an entry
+// fetched from any tier is exact: there is no TTL, no invalidation,
+// and every tier re-verifies the digest before serving bytes it did
+// not just compute. See docs/resultstore.md for the tier contract and
+// the on-disk layout.
+package resultstore
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/simrun"
+)
+
+// Tier names, used as metric labels and reported by Tiered.Get.
+const (
+	TierMemory = "memory"
+	TierDisk   = "disk"
+	TierPeer   = "peer"
+)
+
+// Entry is one stored simulation result. Its JSON field set (and
+// order) is exactly the cacheable part of a POST /v1/run response, so
+// serving an entry from any tier is byte-identical to serving the
+// response that first produced it.
+type Entry struct {
+	// Key is the canonical config hash the entry is stored under
+	// (simrun.Key, with a "cfg:" prefix for raw-config entries).
+	Key string `json:"key"`
+	// Request echoes the normalized request that produced the result;
+	// zero for raw-config ("cfg:") entries.
+	Request simrun.Request `json:"request"`
+	// Result is the full structured simulation result.
+	Result core.Result `json:"result"`
+	// Report is the human-readable summary, byte-identical to what
+	// `smtsim` prints for the same configuration.
+	Report string `json:"report"`
+	// Digest is the canonical SHA-256 of Result (simrun.ResultDigest).
+	// Every tier re-verifies it before serving an entry it did not
+	// just compute.
+	Digest string `json:"digest"`
+}
+
+// Verify recomputes the result digest and reports whether it matches
+// the entry's claim. Entries with no digest are unverifiable and fail.
+func (e *Entry) Verify() bool {
+	return e != nil && e.Digest != "" && simrun.ResultDigest(e.Result) == e.Digest
+}
+
+// ValidKey reports whether key is storable: non-empty, bounded, and
+// built only from the characters config hashes use (hex, plus the
+// "cfg:" raw-config prefix). Everything else is rejected before it can
+// reach a filename or a URL path.
+func ValidKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == ':', r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.Contains(key, "..")
+}
+
+// PeerLookup is the tier-2 read path: a fleet-wide best-effort lookup.
+// Implementations must digest-verify entries before returning them and
+// must treat every failure (timeout, corruption, dead peer) as a miss.
+type PeerLookup interface {
+	Lookup(ctx context.Context, key string) (*Entry, bool)
+}
+
+// Tiered composes the tiers behind one Get/Put. Any tier may be nil;
+// a fully-nil Tiered is a valid always-miss store.
+type Tiered struct {
+	mem  *Memory
+	disk *Disk
+	peer PeerLookup
+
+	metrics Metrics
+}
+
+// NewTiered composes mem, disk, and peer (each optional) into one
+// store.
+func NewTiered(mem *Memory, disk *Disk, peer PeerLookup) *Tiered {
+	return &Tiered{mem: mem, disk: disk, peer: peer}
+}
+
+// Memory returns the tier-0 store, or nil.
+func (t *Tiered) Memory() *Memory { return t.mem }
+
+// Disk returns the tier-1 store, or nil.
+func (t *Tiered) Disk() *Disk { return t.disk }
+
+// Metrics returns the per-tier hit/miss counters.
+func (t *Tiered) Metrics() *Metrics { return &t.metrics }
+
+// Get walks the tiers in order and returns the first verified entry
+// together with the name of the tier that served it. Hits in a slower
+// tier are promoted into the faster tiers, so a result fetched from
+// disk (or a peer) costs its full latency once per process lifetime,
+// not once per request.
+func (t *Tiered) Get(ctx context.Context, key string) (*Entry, string, bool) {
+	if t == nil {
+		return nil, "", false
+	}
+	if e, tier, ok := t.GetLocal(key); ok {
+		return e, tier, ok
+	}
+	if t.peer != nil {
+		if e, ok := t.peer.Lookup(ctx, key); ok {
+			t.metrics.hit(TierPeer)
+			t.put(e) // backfill the local tiers
+			return e, TierPeer, true
+		}
+		t.metrics.miss(TierPeer)
+	}
+	return nil, "", false
+}
+
+// GetLocal walks only the local tiers (memory, then disk). It is the
+// read path behind GET /v1/result/{key}: a daemon answering a peer
+// lookup must not itself fan out to its peers, or lookups would
+// recurse across the fleet.
+func (t *Tiered) GetLocal(key string) (*Entry, string, bool) {
+	if t == nil {
+		return nil, "", false
+	}
+	if t.mem != nil {
+		if e, ok := t.mem.Get(key); ok {
+			t.metrics.hit(TierMemory)
+			return e, TierMemory, true
+		}
+		t.metrics.miss(TierMemory)
+	}
+	if t.disk != nil {
+		if e, ok := t.disk.Get(key); ok {
+			t.metrics.hit(TierDisk)
+			if t.mem != nil {
+				t.mem.Put(e)
+			}
+			return e, TierDisk, true
+		}
+		t.metrics.miss(TierDisk)
+	}
+	return nil, "", false
+}
+
+// Put stores the entry in every writable tier. Disk failures are
+// counted, not propagated: the store is a cache, and a full or broken
+// disk must never fail the simulation that produced the result.
+func (t *Tiered) Put(e *Entry) {
+	if t == nil || e == nil || e.Key == "" {
+		return
+	}
+	t.put(e)
+}
+
+func (t *Tiered) put(e *Entry) {
+	if t.mem != nil {
+		t.mem.Put(e)
+	}
+	if t.disk != nil {
+		if err := t.disk.Put(e); err != nil {
+			t.metrics.putError(TierDisk)
+		}
+	}
+}
+
+// Close flushes and closes the tiers that hold external resources
+// (today: the disk tier's index). Safe on a nil or tierless store.
+func (t *Tiered) Close() error {
+	if t == nil || t.disk == nil {
+		return nil
+	}
+	return t.disk.Close()
+}

@@ -69,6 +69,22 @@ type Executor[T any] interface {
 	Execute(ctx context.Context, j Job[T]) (T, error)
 }
 
+// BatchExecutor is an Executor that can additionally evaluate a whole
+// chunk of jobs in one call (e.g. one POST /v1/batch round trip to a
+// backend, instead of one request per job). RunWith detects it and
+// hands each worker a chunk of pending jobs; per-job settle semantics
+// — checkpointing, hooks, fail-fast — are unchanged.
+//
+// ExecuteBatch must return results and errors index-aligned with its
+// input; the errors slice may be nil when every job succeeded. A
+// panicking or contract-breaking ExecuteBatch demotes the chunk to
+// per-job Execute calls, so a batching bug degrades throughput, never
+// correctness.
+type BatchExecutor[T any] interface {
+	Executor[T]
+	ExecuteBatch(ctx context.Context, jobs []Job[T]) ([]T, []error)
+}
+
 // Local is the identity executor: it runs every job in-process via its
 // Run closure. RunWith with a nil executor behaves identically.
 type Local[T any] struct{}
@@ -198,46 +214,56 @@ func RunWith[T any](ctx context.Context, jobs []Job[T], o Options, exec Executor
 		workers = len(pending)
 	}
 
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				// A cancel can race the dispatcher's select; skip jobs
-				// that slipped through so fail-fast stays strict.
-				if runCtx.Err() != nil {
-					continue
-				}
-				j := jobs[i]
-				v, attempts, err := attempt(runCtx, j, exec)
-				if err == nil && o.Checkpoint != nil && j.Key != "" {
-					if cerr := o.Checkpoint.Record(j.Key, v); cerr != nil {
-						err = fmt.Errorf("checkpoint: %w", cerr)
-					}
-				}
-				if err != nil {
-					errs[i] = fmt.Errorf("job %q: %w", j.Name, err)
-					cancel() // fail fast: stop dispatching
-				} else {
-					results[i] = v
-				}
-				n := int(completed.Add(1))
-				hook(Event{Index: i, Name: j.Name, Err: errs[i], Attempts: attempts, Completed: n, Total: len(jobs)})
+	// settle records one finished job: checkpoint, result/error slot,
+	// fail-fast cancel, hook. Shared by the per-job and batch paths.
+	settle := func(i int, v T, attempts int, err error) {
+		j := jobs[i]
+		if err == nil && o.Checkpoint != nil && j.Key != "" {
+			if cerr := o.Checkpoint.Record(j.Key, v); cerr != nil {
+				err = fmt.Errorf("checkpoint: %w", cerr)
 			}
-		}()
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("job %q: %w", j.Name, err)
+			cancel() // fail fast: stop dispatching
+		} else {
+			results[i] = v
+		}
+		n := int(completed.Add(1))
+		hook(Event{Index: i, Name: j.Name, Err: errs[i], Attempts: attempts, Completed: n, Total: len(jobs)})
 	}
 
-dispatch:
-	for _, i := range pending {
-		select {
-		case idx <- i:
-		case <-runCtx.Done():
-			break dispatch
+	var wg sync.WaitGroup
+	if batcher, ok := exec.(BatchExecutor[T]); ok && len(pending) > 1 {
+		runBatched(runCtx, jobs, pending, workers, batcher, settle)
+	} else {
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					// A cancel can race the dispatcher's select; skip jobs
+					// that slipped through so fail-fast stays strict.
+					if runCtx.Err() != nil {
+						continue
+					}
+					v, attempts, err := attempt(runCtx, jobs[i], exec)
+					settle(i, v, attempts, err)
+				}
+			}()
 		}
+
+	dispatch:
+		for _, i := range pending {
+			select {
+			case idx <- i:
+			case <-runCtx.Done():
+				break dispatch
+			}
+		}
+		close(idx)
 	}
-	close(idx)
 	wg.Wait()
 	if stopProgress != nil {
 		stopProgress()
@@ -256,6 +282,77 @@ dispatch:
 		return results, errors.Join(joined...)
 	}
 	return results, nil
+}
+
+// runBatched is the BatchExecutor dispatch path: pending jobs are cut
+// into one chunk per worker and each worker settles its chunk from a
+// single ExecuteBatch call. It returns when every dispatched chunk has
+// settled.
+func runBatched[T any](ctx context.Context, jobs []Job[T], pending []int, workers int, be BatchExecutor[T], settle func(i int, v T, attempts int, err error)) {
+	chunkSize := (len(pending) + workers - 1) / workers
+	chunks := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for chunk := range chunks {
+				if ctx.Err() != nil {
+					continue
+				}
+				batch := make([]Job[T], len(chunk))
+				for k, i := range chunk {
+					batch[k] = jobs[i]
+				}
+				vs, berrs := executeBatchSafe(ctx, be, batch)
+				if len(vs) != len(chunk) || (berrs != nil && len(berrs) != len(chunk)) {
+					// Broken batch contract (wrong lengths, or a panic):
+					// demote the chunk to per-job execution.
+					for _, i := range chunk {
+						if ctx.Err() != nil {
+							continue
+						}
+						v, attempts, err := attempt(ctx, jobs[i], be)
+						settle(i, v, attempts, err)
+					}
+					continue
+				}
+				for k, i := range chunk {
+					var err error
+					if berrs != nil {
+						err = berrs[k]
+					}
+					settle(i, vs[k], 1, err)
+				}
+			}
+		}()
+	}
+dispatch:
+	for start := 0; start < len(pending); start += chunkSize {
+		end := start + chunkSize
+		if end > len(pending) {
+			end = len(pending)
+		}
+		select {
+		case chunks <- pending[start:end]:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(chunks)
+	wg.Wait()
+}
+
+// executeBatchSafe calls ExecuteBatch with panic containment; a panic
+// reports as a nil result slice, which the caller treats as a broken
+// batch and demotes to per-job execution.
+func executeBatchSafe[T any](ctx context.Context, be BatchExecutor[T], batch []Job[T]) (vs []T, errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			vs, errs = nil, nil
+		}
+	}()
+	return be.ExecuteBatch(ctx, batch)
 }
 
 // attempt runs a job with panic recovery and one bounded retry: a

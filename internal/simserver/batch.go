@@ -1,0 +1,183 @@
+package simserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resultstore"
+	"repro/internal/simrun"
+)
+
+// handleResult is GET /v1/result/{key}: the tier-2 peer-lookup surface.
+// It serves only the local tiers (memory, disk) — a daemon answering a
+// peer must not fan out to its own peers, or lookups would recurse
+// across the fleet. A miss is a plain 404; the caller treats every
+// non-200 as a miss.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !resultstore.ValidKey(key) {
+		httpError(w, http.StatusBadRequest, "invalid result key")
+		return
+	}
+	e, tier, ok := s.store.GetLocal(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no stored result")
+		return
+	}
+	w.Header().Set("X-Result-Digest", e.Digest)
+	w.Header().Set("X-Store-Tier", tier)
+	writeJSON(w, http.StatusOK, e)
+}
+
+// batchRequest is the POST /v1/batch body: raw configs, the same
+// transport as /v1/runcfg but many at once.
+type batchRequest struct {
+	Configs []core.Config `json:"configs"`
+}
+
+// batchLine is one NDJSON line of the batch response stream, emitted in
+// completion order. Index ties the line back to its config in the
+// request; Digest is the canonical result digest the client re-verifies
+// per line before trusting the bytes.
+type batchLine struct {
+	Index     int          `json:"index"`
+	Key       string       `json:"key,omitempty"`
+	Result    *core.Result `json:"result,omitempty"`
+	Digest    string       `json:"digest,omitempty"`
+	Cached    bool         `json:"cached,omitempty"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+// batchTrailer is the final NDJSON line: the client checks Total
+// against the item lines it saw, so a truncated stream (killed backend,
+// dropped connection) is detectable without a Content-Length.
+type batchTrailer struct {
+	Trailer bool `json:"trailer"`
+	Total   int  `json:"total"`
+	OK      int  `json:"ok"`
+	Errors  int  `json:"errors"`
+	// Cached counts items served from the store; the field name avoids
+	// the per-item "cached" flag so one union struct can decode both
+	// line shapes.
+	Cached int `json:"cached_total"`
+}
+
+// handleBatch is POST /v1/batch: many raw configs in, an NDJSON stream
+// of per-item results out, in completion order, with a trailer line
+// carrying counts. Every config is validated before the first byte of
+// the response, so a bad batch is one 400, never a half-stream. Items
+// share the store, singleflight, and worker pool with the per-request
+// endpoints; item flights block on admission instead of 429-ing, since
+// the batch itself was already accepted.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.metrics.batchRequests.Add(1)
+
+	var breq batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err := dec.Decode(&breq); err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding batch: %v", err))
+		return
+	}
+	if len(breq.Configs) == 0 {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(breq.Configs) > s.cfg.MaxBatchItems {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-item bound", len(breq.Configs), s.cfg.MaxBatchItems))
+		return
+	}
+	keys := make([]string, len(breq.Configs))
+	for i := range breq.Configs {
+		cfg := &breq.Configs[i]
+		if cfg.Programs != nil {
+			s.metrics.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("item %d: config.Programs is not transportable; name a mix instead", i))
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			s.metrics.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("item %d: %v", i, err))
+			return
+		}
+		keys[i] = "cfg:" + simrun.Key(*cfg)
+	}
+
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	lines := make(chan batchLine)
+	var wg sync.WaitGroup
+	for i := range breq.Configs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lines <- s.batchItem(r, i, keys[i], breq.Configs[i])
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	trailer := batchTrailer{Trailer: true, Total: len(breq.Configs)}
+	// Drain every line even if the client is gone: item goroutines block
+	// sending into the channel, and their flights must settle into the
+	// store regardless — a disconnected batch still warms the tiers.
+	for line := range lines {
+		if line.Error != "" {
+			trailer.Errors++
+		} else {
+			trailer.OK++
+			if line.Cached {
+				trailer.Cached++
+			}
+		}
+		s.metrics.batchItems.Add(1)
+		_ = enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.metrics.batchLatency.observe(time.Since(start).Seconds())
+}
+
+// batchItem resolves one batch config: store hit, coalesce, or lead a
+// new flight with blocking admission. It always returns a line; errors
+// ride in the line instead of failing the stream.
+func (s *Server) batchItem(r *http.Request, idx int, key string, cfg core.Config) batchLine {
+	if e, _, ok := s.store.Get(r.Context(), key); ok {
+		s.metrics.cacheHits.Add(1)
+		return batchLine{Index: idx, Key: key, Result: &e.Result, Digest: e.Digest, Cached: true}
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	f, leader := s.flights.join(key)
+	if leader {
+		s.wg.Add(1)
+		go s.execute(key, f, simrun.Request{}, cfg, true)
+	} else {
+		s.metrics.coalesced.Add(1)
+	}
+	<-f.done
+	if f.err != nil {
+		return batchLine{Index: idx, Key: key, Error: f.err.Error()}
+	}
+	return batchLine{Index: idx, Key: key, Result: &f.val.Result, Digest: f.val.Digest, Coalesced: !leader}
+}

@@ -1,66 +1,9 @@
 package simserver
 
 import (
-	"fmt"
 	"strings"
-	"sync"
 	"testing"
 )
-
-func TestLRUEvictsOldest(t *testing.T) {
-	c := newLRU(2)
-	a, b, d := &runResponse{Key: "a"}, &runResponse{Key: "b"}, &runResponse{Key: "d"}
-	c.add("a", a)
-	c.add("b", b)
-	if _, ok := c.get("a"); !ok { // promote a; b is now oldest
-		t.Fatal("a missing")
-	}
-	c.add("d", d)
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b should have been evicted as least recently used")
-	}
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a should have survived (recently used)")
-	}
-	if got := c.len(); got != 2 {
-		t.Fatalf("len = %d, want 2", got)
-	}
-}
-
-func TestLRUUpdateInPlace(t *testing.T) {
-	c := newLRU(2)
-	c.add("a", &runResponse{Report: "v1"})
-	c.add("a", &runResponse{Report: "v2"})
-	if got := c.len(); got != 1 {
-		t.Fatalf("len = %d, want 1", got)
-	}
-	v, _ := c.get("a")
-	if v.Report != "v2" {
-		t.Fatalf("Report = %q, want v2", v.Report)
-	}
-}
-
-// TestLRUConcurrent hammers the cache from many goroutines; the -race
-// build is the real assertion.
-func TestLRUConcurrent(t *testing.T) {
-	c := newLRU(8)
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				k := fmt.Sprintf("k%d", (g+i)%16)
-				c.add(k, &runResponse{Key: k})
-				c.get(k)
-			}
-		}(g)
-	}
-	wg.Wait()
-	if c.len() > 8 {
-		t.Fatalf("len = %d exceeds capacity 8", c.len())
-	}
-}
 
 func TestFlightGroupCoalesces(t *testing.T) {
 	g := newFlightGroup()
@@ -90,6 +33,7 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	m.cacheHits.Add(2)
 	m.observeRunSeconds(0.004)                 // first bucket
 	m.observeRunSeconds(99)                    // +Inf bucket
+	m.batchLatency.observe(0.2)                // lands in le="0.25"
 	m.observeSimThroughput(100000, 25_000_000) // 250 ns/cycle
 	m.observeSimThroughput(200000, 25_000_000) // 125 ns/cycle
 	m.observeSimThroughput(0, 5)               // guarded: no cycles, no observation
@@ -104,6 +48,9 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		`smtsimd_run_seconds_bucket{le="0.005"} 1`,
 		`smtsimd_run_seconds_bucket{le="+Inf"} 2`,
 		"smtsimd_run_seconds_count 2",
+		"# TYPE smtsimd_batch_seconds histogram",
+		`smtsimd_batch_seconds_bucket{le="0.25"} 1`,
+		"smtsimd_batch_seconds_count 1",
 		"# TYPE smtsimd_sim_cycles_total counter",
 		"smtsimd_sim_cycles_total 300000",
 		"# TYPE smtsimd_sim_ns_per_cycle summary",

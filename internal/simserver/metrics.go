@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"sync/atomic"
+
+	"repro/internal/resultstore"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the run-latency
@@ -29,30 +31,55 @@ type metrics struct {
 	runErrors   atomic.Int64
 	panics      atomic.Int64 // recovered panics (handlers + simulations)
 
+	batchRequests atomic.Int64 // POST /v1/batch requests received
+	batchItems    atomic.Int64 // batch item lines streamed
+
 	queueDepth atomic.Int64 // admitted but not yet running
 	inFlight   atomic.Int64 // simulations running now
 
-	latCount   atomic.Int64
-	latSumUs   atomic.Int64 // microseconds, to keep the sum integral
-	latBuckets [14]atomic.Int64
+	runLatency   histogram // one observation per executed simulation
+	batchLatency histogram // one observation per completed batch stream
 
 	simCycles     atomic.Int64 // simulated cycles completed, incl. fast-forward
 	nsPerCycCount atomic.Int64
 	nsPerCycSumPs atomic.Int64 // picoseconds per cycle, to keep the sum integral
 }
 
-// observeRunSeconds records one completed simulation's latency.
-func (m *metrics) observeRunSeconds(s float64) {
-	m.latCount.Add(1)
-	m.latSumUs.Add(int64(math.Round(s * 1e6)))
+// histogram is a cumulative latency histogram over latencyBuckets.
+type histogram struct {
+	count   atomic.Int64
+	sumUs   atomic.Int64 // microseconds, to keep the sum integral
+	buckets [14]atomic.Int64
+}
+
+func (h *histogram) observe(s float64) {
+	h.count.Add(1)
+	h.sumUs.Add(int64(math.Round(s * 1e6)))
 	for i, ub := range latencyBuckets {
 		if s <= ub {
-			m.latBuckets[i].Add(1)
+			h.buckets[i].Add(1)
 			return
 		}
 	}
-	m.latBuckets[len(latencyBuckets)].Add(1) // +Inf
+	h.buckets[len(latencyBuckets)].Add(1) // +Inf
 }
+
+// write renders the histogram in Prometheus text exposition format.
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(ub), cum)
+	}
+	cum += h.buckets[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumUs.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// observeRunSeconds records one completed simulation's latency.
+func (m *metrics) observeRunSeconds(s float64) { m.runLatency.observe(s) }
 
 // observeSimThroughput records one completed simulation's cycle count
 // and its wall-time cost per simulated cycle. cycles includes the
@@ -77,6 +104,15 @@ func writeGauge(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 }
 
+// writeTierCounter emits one counter with a tier label per store tier,
+// in slot order so scrapes are deterministic.
+func writeTierCounter(w io.Writer, name, help string, v func(tier string) int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, tier := range resultstore.Tiers {
+		fmt.Fprintf(w, "%s{tier=%q} %d\n", name, tier, v(tier))
+	}
+}
+
 // writePrometheus renders every metric in Prometheus text format.
 func (m *metrics) writePrometheus(w io.Writer) {
 	counter := func(name, help string, v int64) { writeCounter(w, name, help, v) }
@@ -91,20 +127,13 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	counter("smtsimd_simulations_total", "Simulations actually executed.", m.runs.Load())
 	counter("smtsimd_simulation_errors_total", "Simulations that returned an error.", m.runErrors.Load())
 	counter("smtsimd_panics_total", "Panics recovered (HTTP handlers and simulation executors); each became a 500 instead of a dead daemon.", m.panics.Load())
+	counter("smtsimd_batch_requests_total", "POST /v1/batch requests received.", m.batchRequests.Load())
+	counter("smtsimd_batch_items_total", "Batch item result lines streamed.", m.batchItems.Load())
 	gauge("smtsimd_queue_depth", "Run requests admitted and waiting for a worker.", m.queueDepth.Load())
 	gauge("smtsimd_inflight", "Simulations running now.", m.inFlight.Load())
 
-	const h = "smtsimd_run_seconds"
-	fmt.Fprintf(w, "# HELP %s Simulation run latency.\n# TYPE %s histogram\n", h, h)
-	cum := int64(0)
-	for i, ub := range latencyBuckets {
-		cum += m.latBuckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h, trimFloat(ub), cum)
-	}
-	cum += m.latBuckets[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", h, float64(m.latSumUs.Load())/1e6)
-	fmt.Fprintf(w, "%s_count %d\n", h, m.latCount.Load())
+	m.runLatency.write(w, "smtsimd_run_seconds", "Simulation run latency.")
+	m.batchLatency.write(w, "smtsimd_batch_seconds", "POST /v1/batch end-to-end stream latency.")
 
 	counter("smtsimd_sim_cycles_total", "Simulated cycles completed, including fast-forward warmup.", m.simCycles.Load())
 

@@ -2,9 +2,11 @@
 // a JSON API over internal/simrun with three production mechanisms
 // layered on top of the deterministic simulator —
 //
-//  1. Result cache: an LRU keyed by the canonical config hash
-//     (internal/runner.ConfigHash). Simulations are deterministic, so
-//     cached results are exact, with no TTL and no invalidation.
+//  1. Result store: a tiered store (internal/resultstore) keyed by the
+//     canonical config hash (internal/runner.ConfigHash) — in-memory
+//     LRU, optionally backed by a size-bounded on-disk tier that
+//     survives restarts. Simulations are deterministic, so stored
+//     results are exact, with no TTL and no invalidation.
 //  2. Singleflight: N concurrent identical requests trigger exactly one
 //     simulation; the rest coalesce onto its result.
 //  3. Admission control: a bounded queue in front of a bounded worker
@@ -12,8 +14,10 @@
 //     admitted work gets a per-run timeout; Shutdown drains in-flight
 //     simulations before tearing the server down.
 //
-// Endpoints: POST /v1/run, GET /v1/mixes, GET /healthz, GET /metrics
-// (Prometheus text format, no external dependencies).
+// Endpoints: POST /v1/run, POST /v1/runcfg, POST /v1/batch (NDJSON
+// streaming), GET /v1/result/{key} (peer lookup), GET /v1/mixes,
+// GET /healthz, GET /metrics (Prometheus text format, no external
+// dependencies).
 package simserver
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/core"
+	"repro/internal/resultstore"
 	"repro/internal/simrun"
 	"repro/internal/trace"
 )
@@ -56,6 +61,15 @@ type Config struct {
 	// Run replaces the simulation executor (tests); nil selects
 	// simrun.Run.
 	Run RunFunc
+	// Store replaces the default memory-only tiered store. Pass a
+	// resultstore.NewTiered with a disk tier (cmd/smtsimd -store-dir)
+	// to persist results across restarts. The server never closes it:
+	// the owner closes the store after Shutdown returns, so the drain
+	// path fsyncs the on-disk index exactly once.
+	Store *resultstore.Tiered
+	// MaxBatchItems bounds one POST /v1/batch request; <= 0 selects
+	// 4096.
+	MaxBatchItems int
 }
 
 // Server is one simulation service instance. Create with New, expose
@@ -63,7 +77,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	cache   *lru
+	store   *resultstore.Tiered
 	flights *flightGroup
 	metrics metrics
 
@@ -103,11 +117,17 @@ func New(cfg Config) *Server {
 	if cfg.Run == nil {
 		cfg.Run = simrun.Run
 	}
+	if cfg.Store == nil {
+		cfg.Store = resultstore.NewTiered(resultstore.NewMemory(cfg.CacheEntries), nil, nil)
+	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 4096
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		cache:   newLRU(cfg.CacheEntries),
+		store:   cfg.Store,
 		flights: newFlightGroup(),
 		admit:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		sem:     make(chan struct{}, cfg.Workers),
@@ -116,6 +136,8 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/runcfg", s.handleRunCfg)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/mixes", s.handleMixes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -126,6 +148,10 @@ func New(cfg Config) *Server {
 // recovery: a panicking handler becomes a 500 + smtsimd_panics_total
 // increment instead of a dead daemon.
 func (s *Server) Handler() http.Handler { return recoverMiddleware(s.mux, &s.metrics) }
+
+// Store exposes the server's tiered result store (owned by the caller
+// when Config.Store was set; see Config).
+func (s *Server) Store() *resultstore.Tiered { return s.store }
 
 // recoverMiddleware converts a handler panic into a 500 response and a
 // metric, and keeps the daemon serving. The response write is
@@ -166,22 +192,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // runResponse is the cacheable part of a POST /v1/run response: it is
-// identical no matter which request produced it.
-type runResponse struct {
-	// Key is the canonical config hash the result is cached under.
-	Key string `json:"key"`
-	// Request echoes the normalized request that produced the result.
-	Request simrun.Request `json:"request"`
-	// Result is the full structured simulation result.
-	Result core.Result `json:"result"`
-	// Report is the human-readable summary, byte-identical to what
-	// `smtsim` prints for the same configuration.
-	Report string `json:"report"`
-	// Digest is the canonical SHA-256 of Result (simrun.ResultDigest),
-	// echoed in the X-Result-Digest header. Clients recompute it over
-	// the decoded result to detect in-flight corruption.
-	Digest string `json:"digest"`
-}
+// identical no matter which request produced it, so it is exactly a
+// stored result entry — the tiered store persists and serves these
+// bytes unchanged.
+type runResponse = resultstore.Entry
 
 // runReply wraps a runResponse with per-request delivery facts.
 type runReply struct {
@@ -212,7 +226,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	key := simrun.Key(cfg)
 
-	if resp, ok := s.cache.get(key); ok {
+	if resp, _, ok := s.store.Get(r.Context(), key); ok {
 		s.metrics.cacheHits.Add(1)
 		w.Header().Set("X-Result-Digest", resp.Digest)
 		writeJSON(w, http.StatusOK, runReply{runResponse: resp, Cached: true})
@@ -223,7 +237,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	f, leader := s.flights.join(key)
 	if leader {
 		s.wg.Add(1)
-		go s.execute(key, f, req.Normalize(), cfg)
+		go s.execute(key, f, req.Normalize(), cfg, false)
 	} else {
 		s.metrics.coalesced.Add(1)
 	}
@@ -282,7 +296,7 @@ func (s *Server) handleRunCfg(w http.ResponseWriter, r *http.Request) {
 	}
 	key := "cfg:" + simrun.Key(cfg)
 
-	if resp, ok := s.cache.get(key); ok {
+	if resp, _, ok := s.store.Get(r.Context(), key); ok {
 		s.metrics.cacheHits.Add(1)
 		w.Header().Set("X-Result-Digest", resp.Digest)
 		writeJSON(w, http.StatusOK, runCfgReply{Key: key, Result: resp.Result, Digest: resp.Digest, Cached: true})
@@ -293,7 +307,7 @@ func (s *Server) handleRunCfg(w http.ResponseWriter, r *http.Request) {
 	f, leader := s.flights.join(key)
 	if leader {
 		s.wg.Add(1)
-		go s.execute(key, f, simrun.Request{}, cfg)
+		go s.execute(key, f, simrun.Request{}, cfg, false)
 	} else {
 		s.metrics.coalesced.Add(1)
 	}
@@ -324,17 +338,29 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, f *flight) (*runR
 }
 
 // execute is the singleflight leader's path: admission, worker slot,
-// timed run, cache fill, publish. It runs detached from any one request
+// timed run, store fill, publish. It runs detached from any one request
 // so a disconnecting client never kills a flight other clients (or the
-// cache) are waiting on.
-func (s *Server) execute(key string, f *flight, req simrun.Request, cfg core.Config) {
+// store) are waiting on. blockAdmission selects the batch discipline:
+// a per-request flight past a full queue is rejected immediately (429),
+// but a batch item's flight waits for a slot — the batch request itself
+// was already accepted, so its items queue instead of failing.
+func (s *Server) execute(key string, f *flight, req simrun.Request, cfg core.Config, blockAdmission bool) {
 	defer s.wg.Done()
 
-	select {
-	case s.admit <- struct{}{}:
-	default:
-		s.flights.finish(key, f, nil, errOverloaded)
-		return
+	if blockAdmission {
+		select {
+		case s.admit <- struct{}{}:
+		case <-s.baseCtx.Done():
+			s.flights.finish(key, f, nil, errShuttingDown)
+			return
+		}
+	} else {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			s.flights.finish(key, f, nil, errOverloaded)
+			return
+		}
 	}
 	defer func() { <-s.admit }()
 
@@ -372,7 +398,7 @@ func (s *Server) execute(key string, f *flight, req simrun.Request, cfg core.Con
 		Report:  simrun.Report(cfg, res, simrun.ReportOptions{}),
 		Digest:  simrun.ResultDigest(res),
 	}
-	s.cache.add(key, resp)
+	s.store.Put(resp)
 	s.flights.finish(key, f, resp, nil)
 }
 
@@ -442,10 +468,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writePrometheus(w)
-	// Cache occupancy lives on the server, not the counter struct: the
-	// LRU is the source of truth, sampled at scrape time.
-	writeGauge(w, "smtsimd_cache_entries", "Result cache entries resident.", int64(s.cache.len()))
-	writeGauge(w, "smtsimd_cache_capacity", "Result cache entry capacity (LRU bound).", int64(s.cache.capacity()))
+	// Store occupancy lives on the server, not the counter struct: the
+	// tiered store is the source of truth, sampled at scrape time.
+	if mem := s.store.Memory(); mem != nil {
+		writeGauge(w, "smtsimd_cache_entries", "Memory-tier result entries resident.", int64(mem.Len()))
+		writeGauge(w, "smtsimd_cache_capacity", "Memory-tier entry capacity (LRU bound).", int64(mem.Capacity()))
+		writeCounter(w, "smtsimd_cache_evictions_total", "Memory-tier entries evicted by the LRU capacity bound.", mem.Evictions())
+	}
+	sm := s.store.Metrics()
+	writeTierCounter(w, "smtsimd_store_hits_total", "Store lookups served, by tier.", sm.Hits)
+	writeTierCounter(w, "smtsimd_store_misses_total", "Store lookups missed, by tier.", sm.Misses)
+	writeTierCounter(w, "smtsimd_store_put_errors_total", "Store writes that failed, by tier.", sm.PutErrors)
+	if disk := s.store.Disk(); disk != nil {
+		writeGauge(w, "smtsimd_store_disk_entries", "Disk-tier result entries resident.", int64(disk.Len()))
+		writeGauge(w, "smtsimd_store_disk_bytes", "Disk-tier resident entry bytes.", disk.Bytes())
+		writeGauge(w, "smtsimd_store_disk_max_bytes", "Disk-tier byte budget.", disk.MaxBytes())
+		writeCounter(w, "smtsimd_store_disk_evictions_total", "Disk-tier entries evicted by the byte budget.", disk.Evictions())
+		writeCounter(w, "smtsimd_store_disk_quarantines_total", "Disk-tier files quarantined as corrupt or truncated.", disk.Quarantines())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

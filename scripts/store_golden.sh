@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# store_golden.sh — the warm-store acceptance check (docs/resultstore.md).
+#
+# Starts one smtsimd with a temp -store-dir, runs the same quick sweep
+# against it twice (batch-dispatched, peer lookup on), and asserts:
+#
+#   1. the two sweep outputs are byte-identical, and
+#   2. the second pass performed ZERO simulations — every result came
+#      out of the tiered store.
+#
+# Run from the repo root: ./scripts/store_golden.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18470"
+STORE_DIR="$(mktemp -d)"
+OUT_DIR="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$STORE_DIR" "$OUT_DIR"' EXIT
+
+go build -o "$OUT_DIR/smtsimd" ./cmd/smtsimd/
+go build -o "$OUT_DIR/adts-sweep" ./cmd/adts-sweep/
+
+"$OUT_DIR/smtsimd" -addr "$ADDR" -store-dir "$STORE_DIR" &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    [ "$i" = 50 ] && { echo "smtsimd never came up" >&2; exit 1; }
+    sleep 0.2
+done
+
+sims() {
+    curl -sf "http://$ADDR/metrics" | awk '$1 == "smtsimd_simulations_total" {print $2}'
+}
+
+sweep() {
+    "$OUT_DIR/adts-sweep" -table1 -quanta 4 -intervals 1 \
+        -mixes kitchen-sink,int-memory,mixed-lowipc \
+        -backends "$ADDR" -batch -peer-lookup -json
+}
+
+echo "== pass 1 (cold store) =="
+sweep > "$OUT_DIR/pass1.json"
+AFTER1="$(sims)"
+echo "pass 1 done: smtsimd_simulations_total=$AFTER1"
+if [ "$AFTER1" -eq 0 ]; then
+    echo "FAIL: cold pass ran no simulations — the sweep never reached the daemon" >&2
+    exit 1
+fi
+
+echo "== pass 2 (warm store) =="
+sweep > "$OUT_DIR/pass2.json"
+AFTER2="$(sims)"
+echo "pass 2 done: smtsimd_simulations_total=$AFTER2"
+
+if ! diff -u "$OUT_DIR/pass1.json" "$OUT_DIR/pass2.json"; then
+    echo "FAIL: warm-store sweep output diverges from the cold run" >&2
+    exit 1
+fi
+if [ "$AFTER2" -ne "$AFTER1" ]; then
+    echo "FAIL: warm pass performed $((AFTER2 - AFTER1)) simulation(s); the store should have served all of them" >&2
+    exit 1
+fi
+echo "OK: second pass byte-identical with zero simulations"
