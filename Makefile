@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check chaos bench bench-json golden-multicore experiments tools clean
+.PHONY: all build vet test test-short check chaos bench bench-json golden-multicore golden-adaptive train experiments tools clean
 
 all: build vet test
 
@@ -43,13 +43,24 @@ bench:
 # file embeds the previous PR's under "baseline", so the committed file
 # reads as the whole trajectory.
 bench-json: tools
-	./bin/simbench -out BENCH_PR8.json -baseline BENCH_PR7.json
+	./bin/simbench -out BENCH_PR9.json -baseline BENCH_PR8.json
 
 # Regenerate (or, in CI, verify — see .github/workflows/ci.yml) the
 # committed golden multi-core experiment: a quick 2-core allocation
 # comparison whose JSON must be byte-identical on every machine.
 golden-multicore: tools
 	./bin/adts-sweep -multicore -cores 2 -mixes kitchen-sink,int-memory,mixed-lowipc -quanta 8 -intervals 1 -json > docs/results/multicore-golden.json
+
+# Regenerate (or, in CI, verify) the committed golden adaptive-selector
+# experiment: a quick bandit/UCB/learned-vs-static comparison whose JSON
+# must be byte-identical on every machine (docs/adaptive.md).
+golden-adaptive: tools
+	./bin/adts-sweep -adaptive -adaptive-threads 4 -adaptive-cores 1,2 -mixes kitchen-sink,int-memory,mixed-lowipc -quanta 8 -intervals 1 -json > docs/results/adaptive-golden.json
+
+# Retrain the committed learned-selector table from a fixed-policy sweep
+# (docs/adaptive.md). Deterministic: same flags, byte-identical table.
+train: tools
+	./bin/adts-train -out internal/adaptive/learned_table.json
 
 # Full-scale experiment suite (tens of minutes single-core); writes the
 # tables EXPERIMENTS.md is based on to stdout.

@@ -2,7 +2,11 @@
 // fixed-policy comparison, the Figure 7 switch-count/switch-quality
 // grids, the Figure 8 throughput grids, the §6 headline, the oracle
 // upper bound, the homogeneous-vs-diverse comparison, the thread-count
-// saturation experiment, and the §4.3.2 condition-threshold calibration.
+// saturation experiment, and the §4.3.2 condition-threshold calibration
+// — plus the beyond-the-paper studies: thread-to-core allocation on
+// multi-core systems (-multicore) and learned dynamic policy selection
+// (-adaptive, comparing the bandit/ucb/learned heuristics against
+// Type 3/3'/4; see docs/adaptive.md).
 //
 // Runs go through the resilient runner (internal/runner): progress ticks
 // on stderr, Ctrl-C drains in-flight simulations and flushes them to the
@@ -64,8 +68,11 @@ func main() {
 		headline   = flag.Bool("headline", false, "§6 headline: best configuration vs fixed ICOUNT")
 		similarity = flag.Bool("similarity", false, "homogeneous vs diverse mix gains (§6)")
 		multicoreF = flag.Bool("multicore", false, "thread-to-core allocation policies on N SMT cores")
+		adaptiveF  = flag.Bool("adaptive", false, "learned policy selection (bandit, ucb, learned FSM) vs Type 3/3'/4")
 
-		coresF = flag.String("cores", "2,4", "with -multicore: comma-separated core counts")
+		coresF           = flag.String("cores", "2,4", "with -multicore: comma-separated core counts")
+		adaptiveThreadsF = flag.String("adaptive-threads", "4,8", "with -adaptive: comma-separated thread counts")
+		adaptiveCoresF   = flag.String("adaptive-cores", "1,2", "with -adaptive: comma-separated core counts (1 = single core)")
 
 		quanta      = flag.Int("quanta", 64, "measured scheduling quanta per run")
 		intervals   = flag.Int("intervals", 3, "measurement intervals per mix (paper used 10)")
@@ -191,10 +198,10 @@ func main() {
 	defer stop()
 
 	if *all {
-		*fig7, *fig8, *table1, *oracleF, *saturation, *calibrate, *headline, *similarity, *jobschedF, *multicoreF =
-			true, true, true, true, true, true, true, true, true, true
+		*fig7, *fig8, *table1, *oracleF, *saturation, *calibrate, *headline, *similarity, *jobschedF, *multicoreF, *adaptiveF =
+			true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*fig7 || *fig8 || *table1 || *oracleF || *saturation || *calibrate || *headline || *similarity || *jobschedF || *multicoreF) {
+	if !(*fig7 || *fig8 || *table1 || *oracleF || *saturation || *calibrate || *headline || *similarity || *jobschedF || *multicoreF || *adaptiveF) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -209,6 +216,7 @@ func main() {
 		Calibrate  *experiments.Calibration      `json:"calibrate,omitempty"`
 		Jobsched   *experiments.JobschedResult   `json:"jobsched,omitempty"`
 		Multicore  *experiments.MultiCoreResult  `json:"multicore,omitempty"`
+		Adaptive   *experiments.AdaptiveResult   `json:"adaptive,omitempty"`
 	}
 	emit := func(s fmt.Stringer) {
 		if !*jsonF {
@@ -315,6 +323,20 @@ func main() {
 			emit(tb)
 		}
 	}
+	if *adaptiveF {
+		ths, cores, err := parseAdaptiveGrid(*adaptiveThreadsF, *adaptiveCoresF)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := experiments.RunAdaptive(ctx, o, ths, cores)
+		if err != nil {
+			sweepFatal("adaptive", err, ckPath)
+		}
+		out.Adaptive = res
+		for _, tb := range res.Tables() {
+			emit(tb)
+		}
+	}
 
 	if *jsonF {
 		enc := json.NewEncoder(os.Stdout)
@@ -344,6 +366,36 @@ func parseCores(s string, threads int) ([]int, error) {
 		return nil, fmt.Errorf("-cores: empty list")
 	}
 	return cores, nil
+}
+
+// parseAdaptiveGrid parses the -adaptive-threads and -adaptive-cores
+// lists and checks every core count divides every thread count, so a
+// bad grid fails before any simulation runs. Unlike -multicore's
+// -cores, core count 1 is valid here (the single-core grid points).
+func parseAdaptiveGrid(threadsList, coresList string) (threads, cores []int, err error) {
+	for _, part := range splitMixes(threadsList) {
+		var t int
+		if _, err := fmt.Sscanf(part, "%d", &t); err != nil || t < 1 || t > 8 {
+			return nil, nil, fmt.Errorf("-adaptive-threads: want counts in 1..8, got %q", part)
+		}
+		threads = append(threads, t)
+	}
+	for _, part := range splitMixes(coresList) {
+		var c int
+		if _, err := fmt.Sscanf(part, "%d", &c); err != nil || c < 1 || c > 8 {
+			return nil, nil, fmt.Errorf("-adaptive-cores: want counts in 1..8, got %q", part)
+		}
+		for _, t := range threads {
+			if t%c != 0 {
+				return nil, nil, fmt.Errorf("-adaptive-cores: %d does not divide thread count %d", c, t)
+			}
+		}
+		cores = append(cores, c)
+	}
+	if len(threads) == 0 || len(cores) == 0 {
+		return nil, nil, fmt.Errorf("-adaptive-threads/-adaptive-cores: empty list")
+	}
+	return threads, cores, nil
 }
 
 // splitMixes parses the -mixes value: comma-separated names with

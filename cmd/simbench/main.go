@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/core"
+	"repro/internal/detector"
 	"repro/internal/multicore"
 	"repro/internal/pipeline"
 	"repro/internal/resultstore"
@@ -109,6 +110,23 @@ type batchStats struct {
 	WarmSimulations int     `json:"warm_simulations"`
 }
 
+// adaptiveStats times an identical ADTS run under the Type 3 heuristic
+// and the epsilon-greedy bandit selector: wall ns per run for each and
+// the bandit's relative overhead (its Select/Reward bookkeeping versus
+// the FSM's switch statement). Simulated IPCs ride along as
+// fingerprints.
+type adaptiveStats struct {
+	Mix          string  `json:"mix"`
+	Threads      int     `json:"threads"`
+	CyclesPerRun int64   `json:"cycles_per_run"`
+	Type3Ns      float64 `json:"type3_ns_per_run"`
+	BanditNs     float64 `json:"bandit_ns_per_run"`
+	// Overhead is bandit_ns/type3_ns - 1 (positive = bandit slower).
+	Overhead     float64 `json:"bandit_overhead"`
+	Type3SimIPC  float64 `json:"type3_sim_ipc"`
+	BanditSimIPC float64 `json:"bandit_sim_ipc"`
+}
+
 type report struct {
 	Version    string          `json:"version"`
 	Go         string          `json:"go"`
@@ -117,6 +135,7 @@ type report struct {
 	Cells      []cell          `json:"cells"`
 	Multicore  *multicoreStats `json:"multicore,omitempty"`
 	BatchSweep *batchStats     `json:"batch_sweep,omitempty"`
+	Adaptive   *adaptiveStats  `json:"adaptive,omitempty"`
 	Baseline   json.RawMessage `json:"baseline,omitempty"`
 }
 
@@ -173,6 +192,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "simbench: batch sweep, cold vs warm store\n")
 	bs := measureBatchSweep("kitchen-sink", 4, *quick)
 	rep.BatchSweep = &bs
+
+	fmt.Fprintf(os.Stderr, "simbench: adaptive selector overhead (bandit vs Type 3)\n")
+	as := measureAdaptive("kitchen-sink", 8, runIters)
+	rep.Adaptive = &as
 
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
@@ -349,6 +372,54 @@ func measureMultiCore(mixName string, threads int, iters string) multicoreStats 
 		WallSpeedup:   sn / dn,
 		SingleSimIPC:  singleIPC,
 		DualSimIPC:    dualIPC,
+	}
+}
+
+// measureAdaptive times one ADTS run end to end under the Type 3 FSM
+// and then the epsilon-greedy bandit selector: identical config apart
+// from the heuristic, so the delta is the selector's own cost (context
+// quantization plus reward bookkeeping per quantum) on top of the
+// shared detector/DT machinery.
+func measureAdaptive(mixName string, threads int, iters string) adaptiveStats {
+	mk := func(h detector.Heuristic) core.Config {
+		cfg := core.DefaultConfig(mixName)
+		cfg.Threads = threads
+		cfg.Mode = core.ModeADTS
+		cfg.Detector.Heuristic = h
+		cfg.Quanta = 8
+		cfg.FastForward = 8192
+		return cfg
+	}
+	run := func(h detector.Heuristic) (float64, float64, int64) {
+		var ipc float64
+		var cycles int64
+		setBenchtime(iters)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := mk(h)
+				sim, err := core.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := sim.Run()
+				sim.Close()
+				ipc = r.AggregateIPC
+				cycles = cfg.FastForward + r.Cycles
+			}
+		})
+		return float64(res.NsPerOp()), ipc, cycles
+	}
+	t3ns, t3ipc, cycles := run(detector.Type3)
+	bns, bipc, _ := run(detector.Bandit)
+	return adaptiveStats{
+		Mix:          mixName,
+		Threads:      threads,
+		CyclesPerRun: cycles,
+		Type3Ns:      t3ns,
+		BanditNs:     bns,
+		Overhead:     bns/t3ns - 1,
+		Type3SimIPC:  t3ipc,
+		BanditSimIPC: bipc,
 	}
 }
 

@@ -31,7 +31,8 @@ func main() {
 		mix       = flag.String("mix", "kitchen-sink", "workload mix (see mixgen -list)")
 		mode      = flag.String("mode", "fixed", "scheduling mode: fixed | adts | oracle")
 		polName   = flag.String("policy", "ICOUNT", "fetch policy for -mode fixed")
-		heuristic = flag.String("heuristic", "Type 3", "ADTS heuristic: Type 1..Type 4, Type 3'")
+		heuristic = flag.String("heuristic", "Type 3", "ADTS heuristic: Type 1..Type 4, Type 3', or a learned selector: bandit | ucb | learned")
+		selSeed   = flag.Uint64("selector-seed", 0, "exploration seed for -heuristic bandit (0 = fixed default stream)")
 		kernelF   = flag.String("kernel", "", "ADTS: drive the detector with an assembled DT kernel from this file instead of the built-in heuristic")
 		m         = flag.Float64("m", 2, "ADTS IPC threshold")
 		threads   = flag.Int("threads", 8, "hardware contexts (1..8; total across cores)")
@@ -60,17 +61,18 @@ func main() {
 	defer stopProf()
 
 	req := simrun.Request{
-		Mix:         *mix,
-		Mode:        *mode,
-		Policy:      *polName,
-		Heuristic:   *heuristic,
-		M:           *m,
-		Threads:     *threads,
-		Cores:       *coresN,
-		Allocation:  *allocF,
-		Quanta:      *quanta,
-		FastForward: *ff,
-		Seed:        *seed,
+		Mix:          *mix,
+		Mode:         *mode,
+		Policy:       *polName,
+		Heuristic:    *heuristic,
+		M:            *m,
+		SelectorSeed: *selSeed,
+		Threads:      *threads,
+		Cores:        *coresN,
+		Allocation:   *allocF,
+		Quanta:       *quanta,
+		FastForward:  *ff,
+		Seed:         *seed,
 	}
 	if *ff == 0 {
 		req.FastForward = -1 // Request treats 0 as "default"; -1 means none

@@ -1,0 +1,70 @@
+// Package adaptive implements learned dynamic policy selection — the
+// step past the paper's four hand-built heuristics that the dynamic-
+// policy-selection literature (PAPERS.md) argues for. It plugs into the
+// ADTS detector through the detector.Selector seam with three
+// selectors, registered against the detector.Heuristic values at init:
+//
+//   - bandit (detector.Bandit): an online epsilon-greedy contextual
+//     bandit. Context is the quantized per-quantum counter signature
+//     (Quantize); arms are the Type 3 FSM's policy set; reward is
+//     "did the next quantum's IPC beat the selection-time IPC" — the
+//     same benign-switch criterion the paper scores heuristics by.
+//   - ucb (detector.BanditUCB): the same contextual arms under UCB1,
+//     exploration driven by confidence bounds instead of coin flips.
+//   - learned (detector.Learned): an offline-trained table-driven FSM.
+//     The table maps context keys to the empirically best policy, fit
+//     by cmd/adts-train from sweep data; contexts the training never
+//     covered fall back to the paper's Type 3 routing.
+//
+// Determinism contract: selectors are deterministic plain data. The
+// bandit's exploration stream is an internal/rng PRNG seeded from
+// detector.Config.SelectorSeed (0 = a fixed default), UCB and the
+// learned FSM draw no randomness at all, and every tie breaks in
+// canonical arm order — so repeated runs, any GOMAXPROCS, any sweep
+// sharding produce byte-identical results, the same contract every
+// other subsystem in this repo pins with tests.
+package adaptive
+
+import (
+	"repro/internal/detector"
+	"repro/internal/policy"
+)
+
+// Arms is the bandit action set and the learned table's policy
+// vocabulary: exactly the three policies the paper's Type 3 FSM routes
+// between, so any win over Type 3/3'/4 comes from better selection,
+// not from a larger action space.
+var Arms = [3]policy.Policy{policy.ICOUNT, policy.BRCOUNT, policy.L1MISSCOUNT}
+
+// numArms mirrors len(Arms) for array-typed selector state.
+const numArms = len(Arms)
+
+// defaultSelectorSeed feeds the bandit's exploration stream when
+// Config.SelectorSeed is 0.
+const defaultSelectorSeed = 0xad7_5e1ec7
+
+func init() {
+	detector.RegisterSelector(detector.Bandit, func(cfg detector.Config) (detector.Selector, error) {
+		return NewEpsilonGreedy(cfg), nil
+	})
+	detector.RegisterSelector(detector.BanditUCB, func(cfg detector.Config) (detector.Selector, error) {
+		return NewUCB(cfg), nil
+	})
+	detector.RegisterSelector(detector.Learned, func(cfg detector.Config) (detector.Selector, error) {
+		t, err := DefaultTable()
+		if err != nil {
+			return nil, err
+		}
+		return NewLearned(cfg, t)
+	})
+}
+
+// armIndex returns the index of p in Arms, or -1.
+func armIndex(p policy.Policy) int {
+	for i, a := range Arms {
+		if a == p {
+			return i
+		}
+	}
+	return -1
+}

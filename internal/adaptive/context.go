@@ -1,0 +1,53 @@
+package adaptive
+
+import "repro/internal/detector"
+
+// NumContexts is the size of the quantized context space. A context
+// key packs four observables of one scheduling quantum:
+//
+//	bit 0    COND_MEM  — the paper's memory-imbalance condition
+//	bit 1    COND_BR   — the paper's branch-imbalance condition
+//	bits 2-3 IPC bucket — quantum IPC relative to the threshold m:
+//	          0: < m/2, 1: < m, 2: < 3m/2, 3: >= 3m/2
+//
+// Small on purpose: a bandit gets at most one observation per quantum,
+// so the context space must be coarse enough to revisit within a run,
+// and the offline table must be coverable by a quick training sweep.
+const NumContexts = 16
+
+// Quantize maps a quantum's aggregate per-cycle rates to its context
+// key. It is a pure function of its arguments — the foundation of the
+// selectors' determinism contract (identical runs at any GOMAXPROCS or
+// worker count see identical counter vectors, hence identical keys) —
+// and it is shared verbatim between the online selectors and the
+// offline trainer, so a trained table keys the same space the runtime
+// queries.
+func Quantize(cfg detector.Config, ipc, l1MissRate, lsqFullRate, mispredRate, condBrRate float64) uint8 {
+	k := uint8(0)
+	if l1MissRate > cfg.CondMemL1Rate || lsqFullRate > cfg.CondMemLSQRate {
+		k |= 1
+	}
+	if mispredRate > cfg.CondBrMispRate || condBrRate > cfg.CondBrRate {
+		k |= 2
+	}
+	m := cfg.IPCThreshold
+	if m <= 0 {
+		m = 1
+	}
+	switch r := ipc / m; {
+	case r < 0.5:
+		// bucket 0
+	case r < 1:
+		k |= 1 << 2
+	case r < 1.5:
+		k |= 2 << 2
+	default:
+		k |= 3 << 2
+	}
+	return k
+}
+
+// QuantizeQuantum is Quantize over a detector-view quantum.
+func QuantizeQuantum(cfg detector.Config, q detector.QuantumStats) uint8 {
+	return Quantize(cfg, q.IPC, q.L1MissRate, q.LSQFullRate, q.MispredRate, q.CondBrRate)
+}

@@ -1,0 +1,29 @@
+package adaptive
+
+import (
+	_ "embed"
+	"sync"
+)
+
+// learnedTableJSON is the committed trained-table artifact. Regenerate
+// with:
+//
+//	go run repro/cmd/adts-train -out internal/adaptive/learned_table.json
+//
+//go:embed learned_table.json
+var learnedTableJSON []byte
+
+var defaultTable struct {
+	once sync.Once
+	t    *Table
+	err  error
+}
+
+// DefaultTable decodes the embedded trained-table artifact once and
+// returns it. Callers must not mutate the result.
+func DefaultTable() (*Table, error) {
+	defaultTable.once.Do(func() {
+		defaultTable.t, defaultTable.err = DecodeTable(learnedTableJSON)
+	})
+	return defaultTable.t, defaultTable.err
+}

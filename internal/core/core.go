@@ -19,6 +19,10 @@ package core
 import (
 	"fmt"
 
+	// Link the adaptive selectors (bandit, ucb, learned) into every
+	// binary that can construct a simulator; detector.New needs their
+	// factories registered for Heuristic >= detector.NumHeuristics.
+	_ "repro/internal/adaptive"
 	"repro/internal/counters"
 	"repro/internal/detector"
 	"repro/internal/dtvm"
@@ -345,6 +349,7 @@ type Simulator struct {
 	startCycle     int64
 	startCommitted uint64
 	startCum       []counters.Counters
+	lastQ          detector.QuantumStats
 	res            Result
 }
 
@@ -518,6 +523,7 @@ func (s *Simulator) StepQuantum() float64 {
 	}
 	deltas := s.snapshotDelta()
 	qs := s.quantumStats(deltas, s.quantum)
+	s.lastQ = qs
 	s.res.QuantumIPC = append(s.res.QuantumIPC, qs.IPC)
 	s.res.PolicyTimeline = append(s.res.PolicyTimeline, s.m.Policy())
 
@@ -540,6 +546,14 @@ func (s *Simulator) StepQuantum() float64 {
 		}
 	}
 	return qs.IPC
+}
+
+// LastQuantum returns the detector-view aggregate of the most recent
+// StepQuantum — the same QuantumStats the detector saw. The offline
+// trainer (cmd/adts-train) uses it to pair context keys with the next
+// quantum's outcome; it is zero before the first step.
+func (s *Simulator) LastQuantum() detector.QuantumStats {
+	return s.lastQ
 }
 
 // Finish closes the measurement window and returns the collected

@@ -13,6 +13,7 @@ package detector
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/policy"
 )
@@ -29,40 +30,125 @@ const (
 	Type3
 	Type3G
 	Type4
+	// NumHeuristics counts the paper's hand-built heuristics. The
+	// learned selectors below take values at and above it, so
+	// Type 1–4 keep their wire values (configs, hashes and checkpoints
+	// written before the selectors existed stay bit-for-bit valid) and
+	// AllHeuristics keeps meaning "the paper's five".
 	NumHeuristics
 )
 
-var heuristicNames = [NumHeuristics]string{"Type 1", "Type 2", "Type 3", "Type 3'", "Type 4"}
+// Learned dynamic policy selection, beyond the paper's four heuristics
+// (ROADMAP; "Beyond Static Policies: Exploring Dynamic Policy
+// Selection" in PAPERS.md). These heuristics delegate
+// Determine_NewPolicy to a Selector registered by internal/adaptive;
+// a binary that selects one without linking that package fails config
+// validation, not silently.
+const (
+	// Bandit is the online epsilon-greedy contextual bandit.
+	Bandit Heuristic = NumHeuristics + iota
+	// BanditUCB is the online UCB1 contextual bandit.
+	BanditUCB
+	// Learned is the offline-trained table-driven FSM (cmd/adts-train).
+	Learned
+	// heuristicLimit bounds the valid Heuristic values.
+	heuristicLimit
+)
+
+var heuristicNames = [heuristicLimit]string{
+	Type1: "Type 1", Type2: "Type 2", Type3: "Type 3", Type3G: "Type 3'", Type4: "Type 4",
+	Bandit: "bandit", BanditUCB: "ucb", Learned: "learned",
+}
 
 func (h Heuristic) String() string {
-	if int(h) < len(heuristicNames) {
+	if h >= 0 && int(h) < len(heuristicNames) {
 		return heuristicNames[h]
 	}
 	return fmt.Sprintf("heuristic(%d)", int(h))
 }
 
-// AllHeuristics returns the five heuristics in paper order.
+// AllHeuristics returns the five paper heuristics in paper order.
 func AllHeuristics() []Heuristic {
 	return []Heuristic{Type1, Type2, Type3, Type3G, Type4}
 }
 
-// ParseHeuristic accepts "Type 1".."Type 4", "Type 3'" and the compact
-// forms "1".."4", "3'", "3g".
+// SelectorHeuristics returns the learned selector heuristics in
+// canonical order.
+func SelectorHeuristics() []Heuristic {
+	return []Heuristic{Bandit, BanditUCB, Learned}
+}
+
+// ParseHeuristic accepts every Heuristic.String() form in any case and
+// spacing ("Type 3'", "type 3'", "type3'"), the compact forms "1".."4",
+// "3'", "3g" and "type 3g", and the selector aliases "bandit",
+// "ucb"/"bandit-ucb"/"ucb1", "learned". It is the exact inverse of
+// String: ParseHeuristic(h.String()) == h for every valid h.
 func ParseHeuristic(s string) (Heuristic, error) {
-	switch s {
-	case "Type 1", "1", "type1":
+	switch strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), " ", "") {
+	case "type1", "1":
 		return Type1, nil
-	case "Type 2", "2", "type2":
+	case "type2", "2":
 		return Type2, nil
-	case "Type 3", "3", "type3":
+	case "type3", "3":
 		return Type3, nil
-	case "Type 3'", "3'", "3g", "type3'", "type3g":
+	case "type3'", "3'", "type3g", "3g":
 		return Type3G, nil
-	case "Type 4", "4", "type4":
+	case "type4", "4":
 		return Type4, nil
+	case "bandit", "epsilon-greedy":
+		return Bandit, nil
+	case "ucb", "ucb1", "bandit-ucb":
+		return BanditUCB, nil
+	case "learned", "learned-fsm":
+		return Learned, nil
 	}
 	return 0, fmt.Errorf("detector: unknown heuristic %q", s)
 }
+
+// Selector is Determine_NewPolicy behind an interface: given a
+// low-throughput quantum, pick the fetch policy for the next one. The
+// paper's Type 1–4 switch statement is the built-in implementation;
+// internal/adaptive registers learned selectors (contextual bandits,
+// an offline-trained table FSM) against the Heuristic values above.
+//
+// Implementations must be deterministic plain data: equal construction
+// plus an equal call sequence yields equal decisions (seed any
+// randomness from Config.SelectorSeed via internal/rng).
+type Selector interface {
+	// Select picks the policy to engage for the next quantum. Returning
+	// the incumbent keeps it engaged (no switch is scheduled).
+	Select(incumbent policy.Policy, q QuantumStats) policy.Policy
+	// Reward reports the outcome of the previous Select: baseIPC is the
+	// aggregate IPC at selection time, nextIPC the IPC of the quantum
+	// that ran under the chosen policy. Called exactly once per Select,
+	// before the next Select.
+	Reward(baseIPC, nextIPC float64)
+	// Clone returns an independent deep copy.
+	Clone() Selector
+}
+
+// selectorFactories maps selector heuristics to constructors.
+// internal/adaptive populates it from init, so any binary that links
+// the package (everything that imports internal/core does) can run
+// bandit/ucb/learned configs.
+var selectorFactories = map[Heuristic]func(Config) (Selector, error){}
+
+// RegisterSelector installs the factory for a selector heuristic.
+// It panics on a non-selector heuristic or a duplicate registration —
+// both are wiring bugs, not runtime conditions.
+func RegisterSelector(h Heuristic, f func(Config) (Selector, error)) {
+	if h < NumHeuristics || h >= heuristicLimit {
+		panic(fmt.Sprintf("detector: RegisterSelector(%v): not a selector heuristic", h))
+	}
+	if selectorFactories[h] != nil {
+		panic(fmt.Sprintf("detector: RegisterSelector(%v): already registered", h))
+	}
+	selectorFactories[h] = f
+}
+
+// SelectorRegistered reports whether h has a registered selector
+// factory.
+func SelectorRegistered(h Heuristic) bool { return selectorFactories[h] != nil }
 
 // Config parameterises the detector. Zero values are invalid; use
 // DefaultConfig and override.
@@ -94,6 +180,13 @@ type Config struct {
 	// FairShare is the per-thread fair share of pre-issue resources
 	// (fetch buffer + instruction queues, divided by thread count).
 	FairShare float64
+
+	// SelectorSeed seeds stochastic learned selectors (the epsilon-
+	// greedy bandit's exploration stream). 0 selects the default
+	// stream; runs with equal configs are byte-identical either way.
+	// Static heuristics ignore it. omitempty keeps every pre-selector
+	// config hash and digest bit-for-bit unchanged.
+	SelectorSeed uint64 `json:"SelectorSeed,omitempty"`
 }
 
 // DefaultConfig returns the paper's parameters for n threads: an 8K-cycle
@@ -139,8 +232,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("detector: Quantum must be positive")
 	case c.IPCThreshold < 0:
 		return fmt.Errorf("detector: IPCThreshold must be >= 0")
-	case c.Heuristic < 0 || c.Heuristic >= NumHeuristics:
+	case c.Heuristic < 0 || c.Heuristic >= heuristicLimit:
 		return fmt.Errorf("detector: unknown heuristic %d", c.Heuristic)
+	case c.Heuristic >= NumHeuristics && !SelectorRegistered(c.Heuristic):
+		return fmt.Errorf("detector: heuristic %v needs a registered selector (import repro/internal/adaptive)", c.Heuristic)
 	case c.CloggingFactor <= 0 || c.FairShare <= 0:
 		return fmt.Errorf("detector: clogging parameters must be positive")
 	}
@@ -218,6 +313,27 @@ type Stats struct {
 	Malignant     uint64 // switches followed by a decrease (or no change)
 	GradientHolds uint64 // Type 3'/4: switches suppressed by positive gradient
 	Reversals     uint64 // Type 4: history-directed opposite transitions
+	// PolicyQuanta[p] counts the quanta the detector entered with
+	// policy.Policy(p) as the incumbent: the selector-behaviour audit
+	// trail (which policies a heuristic actually lives in). Nil until
+	// the detector has run a quantum, and omitted from JSON then, so
+	// fixed-mode and historical reports stay byte-identical.
+	PolicyQuanta []uint64 `json:"PolicyQuanta,omitempty"`
+}
+
+// MergePolicyQuanta element-wise adds src into dst, growing dst as
+// needed; it returns dst. internal/multicore uses it to fold per-core
+// detector stats into the system view.
+func MergePolicyQuanta(dst, src []uint64) []uint64 {
+	if len(src) > len(dst) {
+		grown := make([]uint64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
 }
 
 // BenignProbability returns Benign / (Benign + Malignant), the paper's
@@ -235,6 +351,14 @@ func (s Stats) BenignProbability() float64 {
 type Detector struct {
 	cfg       Config
 	incumbent policy.Policy
+
+	// sel, when non-nil, replaces the Type 1–4 switch statement with a
+	// registered learned selector (Heuristic >= NumHeuristics).
+	sel Selector
+	// Pending selector reward: the selector chose at IPC selBase and is
+	// owed the following quantum's IPC, whether or not it switched.
+	selPending bool
+	selBase    float64
 
 	prevIPC  float64
 	havePrev bool
@@ -261,13 +385,23 @@ func New(cfg Config) *Detector {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Detector{
+	d := &Detector{
 		cfg:        cfg,
 		incumbent:  cfg.InitialPolicy,
 		idleWork:   256,
 		clogWork:   512,
 		decideWork: 1024,
 	}
+	if cfg.Heuristic >= NumHeuristics {
+		sel, err := selectorFactories[cfg.Heuristic](cfg)
+		if err != nil {
+			// Validate vouched for the registration; a factory that then
+			// fails (e.g. a corrupt embedded table) is a build defect.
+			panic(fmt.Sprintf("detector: constructing %v selector: %v", cfg.Heuristic, err))
+		}
+		d.sel = sel
+	}
+	return d
 }
 
 // SetWorkModel overrides the detector-thread instruction budgets.
@@ -281,12 +415,28 @@ func (d *Detector) Config() Config { return d.cfg }
 // Incumbent returns the policy the detector believes is engaged.
 func (d *Detector) Incumbent() policy.Policy { return d.incumbent }
 
-// Stats returns the accumulated switch statistics.
-func (d *Detector) Stats() Stats { return d.stats }
+// Stats returns the accumulated switch statistics. The PolicyQuanta
+// slice is copied, so the caller's view never aliases live bookkeeping.
+func (d *Detector) Stats() Stats {
+	s := d.stats
+	if s.PolicyQuanta != nil {
+		s.PolicyQuanta = append([]uint64(nil), s.PolicyQuanta...)
+	}
+	return s
+}
+
+// Selector returns the active learned selector (nil for Type 1–4).
+func (d *Detector) Selector() Selector { return d.sel }
 
 // Clone returns an independent deep copy.
 func (d *Detector) Clone() *Detector {
 	cp := *d
+	if d.sel != nil {
+		cp.sel = d.sel.Clone()
+	}
+	if d.stats.PolicyQuanta != nil {
+		cp.stats.PolicyQuanta = append([]uint64(nil), d.stats.PolicyQuanta...)
+	}
 	return &cp
 }
 
@@ -296,6 +446,19 @@ func (d *Detector) Clone() *Detector {
 // threads and determine the next fetch policy.
 func (d *Detector) OnQuantumEnd(q QuantumStats) Decision {
 	d.stats.Quanta++
+	if d.stats.PolicyQuanta == nil {
+		d.stats.PolicyQuanta = make([]uint64, policy.NumPolicies)
+	}
+	if int(d.incumbent) < len(d.stats.PolicyQuanta) {
+		d.stats.PolicyQuanta[d.incumbent]++
+	}
+
+	// Pay the selector the outcome of its previous pick — switch or
+	// hold, it chose, so it learns either way.
+	if d.selPending {
+		d.selPending = false
+		d.sel.Reward(d.selBase, q.IPC)
+	}
 
 	// Score the previous quantum's switch: benign iff throughput rose.
 	if d.evalPending {
@@ -339,6 +502,26 @@ func (d *Detector) OnQuantumEnd(q QuantumStats) Decision {
 		dec.Clogging[i] = float64(tq.PreIssue) > limit
 	}
 	dec.Work += d.clogWork
+
+	// Learned selectors own the whole determination, gradient included:
+	// a selector that benefits from holding during recovery learns to
+	// return the incumbent. Every selection is rewarded with the next
+	// quantum's IPC; only actual switches enter the benign/malignant
+	// bookkeeping, so Stats keeps Figure 7 semantics across heuristics.
+	if d.sel != nil {
+		next := d.sel.Select(d.incumbent, q)
+		dec.Work += d.decideWork
+		d.selPending, d.selBase = true, q.IPC
+		if next == d.incumbent {
+			return dec
+		}
+		dec.Switch = true
+		dec.NewPolicy = next
+		d.stats.Switches++
+		d.evalPending, d.evalBaseIPC = true, q.IPC
+		d.incumbent = next
+		return dec
+	}
 
 	// Gradient guard (Type 3' and Type 4): while throughput is already
 	// recovering, keep the incumbent.
@@ -413,9 +596,17 @@ func (d *Detector) type2() policy.Policy {
 // L1MISSCOUNT}. It returns the regular transition and its opposite (the
 // alternative destination Type 4 uses for reversals).
 func (d *Detector) type3(q QuantumStats) (regular, opposite policy.Policy) {
-	mem := d.cfg.CondMem(q)
-	br := d.cfg.CondBr(q)
-	switch d.incumbent {
+	return Type3Transition(d.cfg, d.incumbent, q)
+}
+
+// Type3Transition is the Figure 6 FSM as a pure function: the regular
+// condition-directed transition from incumbent and its opposite. It is
+// exported so learned selectors (internal/adaptive) can fall back to
+// the paper's routing for contexts their training never covered.
+func Type3Transition(cfg Config, incumbent policy.Policy, q QuantumStats) (regular, opposite policy.Policy) {
+	mem := cfg.CondMem(q)
+	br := cfg.CondBr(q)
+	switch incumbent {
 	case policy.BRCOUNT:
 		// BRCOUNT failed: the imbalance is not in branches.
 		if mem {

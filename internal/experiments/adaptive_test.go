@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunAdaptiveStructure(t *testing.T) {
+	o := tiny()
+	o.Intervals = 1
+	res, err := RunAdaptive(context.Background(), o, []int{4}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nH := len(AdaptiveHeuristics())
+	if len(res.MeanIPC) != 1 || len(res.MeanIPC[0]) != 2 || len(res.MeanIPC[0][0]) != nH {
+		t.Fatalf("grid shape %dx%dx%d, want 1x2x%d",
+			len(res.MeanIPC), len(res.MeanIPC[0]), len(res.MeanIPC[0][0]), nH)
+	}
+	for ti := range res.MeanIPC {
+		for ci := range res.MeanIPC[ti] {
+			for hi, h := range res.Heuristics {
+				if res.MeanIPC[ti][ci][hi] <= 0 {
+					t.Errorf("t=%d c=%d %v: non-positive mean IPC", ti, ci, h)
+				}
+			}
+		}
+	}
+	var rendered []string
+	for _, tb := range res.Tables() {
+		rendered = append(rendered, tb.String())
+	}
+	all := strings.Join(rendered, "\n")
+	for _, want := range []string{"bandit", "ucb", "learned", "vs best static", "best static"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}
+
+// Satellite: the adaptive study is deterministic across worker counts —
+// per-run selector state is never shared, so sharding the job list over
+// 1 or 4 workers produces byte-identical experiment output.
+func TestRunAdaptiveWorkerCountDeterminism(t *testing.T) {
+	run := func(workers int) string {
+		o := tiny()
+		o.Intervals = 1
+		o.Mixes = []string{"int-memory"}
+		o.Workers = workers
+		res, err := RunAdaptive(context.Background(), o, []int{4}, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Opts echoes the input (including Workers); only the measured
+		// data must match.
+		res.Opts = Options{}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Fatalf("adaptive results diverged across worker counts:\n%s\n---\n%s", a, b)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/detector"
 	"repro/internal/trace"
 )
 
@@ -290,6 +291,9 @@ func (s *System) reduce(perCore []core.Result, assignment [][]int, quantumIPC []
 		sys.Detector.Malignant += r.Detector.Malignant
 		sys.Detector.GradientHolds += r.Detector.GradientHolds
 		sys.Detector.Reversals += r.Detector.Reversals
+		if r.Detector.PolicyQuanta != nil {
+			sys.Detector.PolicyQuanta = detector.MergePolicyQuanta(sys.Detector.PolicyQuanta, r.Detector.PolicyQuanta)
+		}
 		sys.DT.FetchSlotsUsed += r.DT.FetchSlotsUsed
 		sys.DT.IssueSlotsUsed += r.DT.IssueSlotsUsed
 		sys.DT.JobsScheduled += r.DT.JobsScheduled

@@ -153,6 +153,34 @@ func parseLine(line []byte) (Entry, error) {
 	return e, nil
 }
 
+// ReadEntries loads every readable entry of a checkpoint file in file
+// order, without opening it for appending. Duplicate keys keep every
+// occurrence (last-wins semantics belong to resume; offline consumers
+// like cmd/adts-train want the raw record). Unreadable lines are
+// skipped, mirroring resume. File order is deterministic — the order
+// jobs were recorded — so replay-based training is reproducible.
+func ReadEntries(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runner: reading checkpoint %s: %w", path, err)
+	}
+	var out []Entry
+	for off := 0; off < len(data); {
+		end := len(data)
+		if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+			end = off + nl + 1
+		}
+		line := bytes.TrimSpace(data[off:end])
+		if len(line) > 0 {
+			if e, err := parseLine(line); err == nil {
+				out = append(out, e)
+			}
+		}
+		off = end
+	}
+	return out, nil
+}
+
 // Skipped reports how many unreadable lines (torn tails from
 // interrupted writes, CRC failures, or other corruption) were
 // discarded on resume. Callers should surface a warning when it is

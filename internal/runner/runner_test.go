@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -475,3 +476,46 @@ func TestProgressLineFormat(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestReadEntriesFileOrder(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	cp, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := cp.Record(fmt.Sprintf("k%d", i), i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadEntries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if want := fmt.Sprintf("k%d", i); e.Key != want {
+			t.Fatalf("entry %d key %q, want %q (file order)", i, e.Key, want)
+		}
+		var v int
+		if err := json.Unmarshal(e.Result, &v); err != nil || v != i*i {
+			t.Fatalf("entry %d result %s, want %d", i, e.Result, i*i)
+		}
+	}
+	// A corrupt mid-file line is skipped, matching resume semantics.
+	data, _ := os.ReadFile(path)
+	corrupt := append([]byte("00000000 {garbage\n"), data...)
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = ReadEntries(path)
+	if err != nil || len(entries) != 5 {
+		t.Fatalf("corrupt line not skipped: %d entries, err %v", len(entries), err)
+	}
+}

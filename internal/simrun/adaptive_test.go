@@ -1,0 +1,97 @@
+package simrun
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The new selector fields must be invisible when unused: a classic
+// request's config JSON — and therefore its cache key and result
+// digest inputs — cannot mention them, or every pre-existing
+// checkpoint and store entry would be orphaned.
+func TestSelectorFieldsOmittedFromClassicConfigs(t *testing.T) {
+	cfg, err := Request{Mode: "adts", Heuristic: "Type 3"}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"SelectorSeed", "PolicyQuanta"} {
+		if strings.Contains(string(raw), banned) {
+			t.Errorf("classic config JSON mentions %s:\n%s", banned, raw)
+		}
+	}
+	with, err := Request{Mode: "adts", Heuristic: "bandit", SelectorSeed: 42}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Detector.SelectorSeed != 42 {
+		t.Fatalf("selector_seed not threaded: %d", with.Detector.SelectorSeed)
+	}
+	if Key(cfg) == Key(with) {
+		t.Fatal("bandit config shares a cache key with Type 3")
+	}
+}
+
+// Satellite: adaptive selector runs are byte-identical regardless of
+// GOMAXPROCS — the context keys and exploration streams are pure
+// functions of the config, never of scheduling.
+func TestAdaptiveRunsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	for _, h := range []string{"bandit", "ucb", "learned"} {
+		req := Request{Mix: "int-memory", Mode: "adts", Heuristic: h, Threads: 4, Quanta: 8, FastForward: -1}
+		cfg, err := req.Config()
+		if err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+		run := func(procs int) string {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			res, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", h, err)
+			}
+			return ResultDigest(res)
+		}
+		d1, d2, d4 := run(1), run(2), run(4)
+		if d1 == "" || d1 != d2 || d1 != d4 {
+			t.Fatalf("%s: digests diverged across GOMAXPROCS: %s / %s / %s", h, d1, d2, d4)
+		}
+	}
+}
+
+// Adaptive selectors compose with multi-core: each core gets its own
+// independent selector, and the composition stays deterministic.
+func TestAdaptiveMultiCoreDeterministic(t *testing.T) {
+	req := Request{Mix: "kitchen-sink", Mode: "adts", Heuristic: "bandit",
+		Threads: 4, Cores: 2, Quanta: 6, FastForward: -1}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2 := ResultDigest(r1), ResultDigest(r2); d1 != d2 {
+		t.Fatalf("multi-core bandit digests diverged: %s vs %s", d1, d2)
+	}
+	if r1.Cores != 2 {
+		t.Fatalf("Cores = %d, want 2", r1.Cores)
+	}
+	if len(r1.Detector.PolicyQuanta) == 0 {
+		t.Fatal("multi-core run lost the PolicyQuanta audit")
+	}
+	rep := Report(cfg, r1, ReportOptions{})
+	if !strings.Contains(rep, "selector audit:") {
+		t.Fatalf("report missing selector audit line:\n%s", rep)
+	}
+}

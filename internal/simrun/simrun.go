@@ -34,10 +34,16 @@ type Request struct {
 	Mode string `json:"mode"`
 	// Policy is the fetch policy for fixed mode (e.g. "ICOUNT").
 	Policy string `json:"policy,omitempty"`
-	// Heuristic is the ADTS heuristic ("Type 1".."Type 4", "Type 3'").
+	// Heuristic is the ADTS heuristic ("Type 1".."Type 4", "Type 3'") or
+	// an adaptive selector ("bandit", "ucb", "learned").
 	Heuristic string `json:"heuristic,omitempty"`
 	// M is the ADTS IPC threshold.
 	M float64 `json:"m,omitempty"`
+	// SelectorSeed seeds the exploration stream of the adaptive bandit
+	// selector (heuristic "bandit"); 0 selects a fixed default stream.
+	// Ignored by the paper heuristics, "ucb", and "learned", which draw
+	// no randomness.
+	SelectorSeed uint64 `json:"selector_seed,omitempty"`
 	// Kernel is DT kernel source (internal/dtvm assembly) that replaces
 	// the built-in heuristic in ADTS mode.
 	Kernel string `json:"kernel,omitempty"`
@@ -174,6 +180,7 @@ func (r Request) Config() (core.Config, error) {
 		}
 		cfg.Detector.Heuristic = h
 		cfg.Detector.IPCThreshold = r.M
+		cfg.Detector.SelectorSeed = r.SelectorSeed
 		if r.Kernel != "" {
 			prog, err := dtvm.Assemble(r.Kernel)
 			if err != nil {
@@ -320,6 +327,16 @@ func Report(cfg core.Config, res core.Result, o ReportOptions) string {
 		d := res.Detector
 		fmt.Fprintf(&b, "detector: %v m=%g — %d low quanta, %d switches (benign %d / malignant %d, P=%.2f)\n",
 			res.Heuristic, res.Threshold, d.LowQuanta, d.Switches, d.Benign, d.Malignant, d.BenignProbability())
+		if len(d.PolicyQuanta) > 0 {
+			var parts []string
+			for p, n := range d.PolicyQuanta {
+				if n > 0 {
+					parts = append(parts, fmt.Sprintf("%s %d", policy.Policy(p), n))
+				}
+			}
+			fmt.Fprintf(&b, "selector audit: %d gradient holds, %d reversals; quanta by policy: %s\n",
+				d.GradientHolds, d.Reversals, strings.Join(parts, ", "))
+		}
 		fmt.Fprintf(&b, "DT cost model: %d jobs, %d completed, %d preempted, %d fetch slots, %d issue slots\n",
 			res.DT.JobsScheduled, res.DT.JobsCompleted, res.DT.JobsPreempted,
 			res.DT.FetchSlotsUsed, res.DT.IssueSlotsUsed)

@@ -257,3 +257,63 @@ func TestRunCfgMultiCore(t *testing.T) {
 		t.Fatalf("bad allocation: status %d, want 400: %s", resp.StatusCode, raw)
 	}
 }
+
+// TestRunCfgAdaptiveSelector: a bandit config posted to /v1/runcfg runs
+// through the registered adaptive selector and returns a verifiable
+// digest — the fleet path for learned-selection sweeps.
+func TestRunCfgAdaptiveSelector(t *testing.T) {
+	srv := New(Config{Workers: 2, Run: simrun.Run})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var req simrun.Request
+	if err := json.Unmarshal([]byte(testRequest), &req); err != nil {
+		t.Fatal(err)
+	}
+	req.Mode = "adts"
+	req.Heuristic = "bandit"
+	req.SelectorSeed = 7
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Quanta = 4
+	cfg.FastForward = 0
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postRunCfg(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var reply struct {
+		Result core.Result `json:"result"`
+		Digest string      `json:"digest"`
+	}
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if got := simrun.ResultDigest(reply.Result); got != reply.Digest {
+		t.Fatalf("digest mismatch: computed %s, server sent %s", got, reply.Digest)
+	}
+	if len(reply.Result.Detector.PolicyQuanta) == 0 {
+		t.Fatal("adaptive run reply missing PolicyQuanta audit")
+	}
+	// A second POST must be served from cache with the same digest.
+	resp2, raw2 := postRunCfg(t, ts.URL, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cached POST status %d: %s", resp2.StatusCode, raw2)
+	}
+	var reply2 struct {
+		Digest string `json:"digest"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(raw2, &reply2); err != nil {
+		t.Fatal(err)
+	}
+	if !reply2.Cached || reply2.Digest != reply.Digest {
+		t.Fatalf("cached adaptive reply diverged: cached=%t digest %s vs %s",
+			reply2.Cached, reply2.Digest, reply.Digest)
+	}
+}
