@@ -88,6 +88,7 @@ func main() {
 		batchF        = flag.Bool("batch", false, "with -backends: ship runs in chunked POST /v1/batch streams instead of one request per run")
 		batchSizeF    = flag.Int("batch-size", 0, "with -batch: configs per batch chunk (0 = default 64)")
 		peerLookupF   = flag.Bool("peer-lookup", false, "with -backends: ask every backend's result store before dispatching a run")
+		peerTimeoutF  = flag.Duration("peer-timeout", resultstore.DefaultPeerTimeout, "with -peer-lookup: budget for one whole peer lookup across all backends")
 		hedgeF        = flag.Bool("hedge", false, "with -backends: hedge slow requests to a second backend")
 		maxRetriesF   = flag.Int("max-retries", 3, "with -backends: re-dispatches per run after a failure (-1 disables)")
 		fleetMetricsF = flag.Bool("fleet-metrics", false, "with -backends: print fleet client metrics to stderr on exit")
@@ -159,7 +160,7 @@ func main() {
 		var peers resultstore.PeerLookup
 		if *peerLookupF {
 			var err error
-			peers, err = fleet.NewPeerLookup(backends, 0)
+			peers, err = fleet.NewPeerLookup(backends, *peerTimeoutF)
 			if err != nil {
 				fatalf("fleet: %v", err)
 			}

@@ -15,7 +15,16 @@
 //
 // -store-dir enables the content-addressed disk tier: results survive
 // restarts, and a warm daemon answers repeated sweeps without running a
-// single simulation. SIGINT/SIGTERM trigger a graceful shutdown: the
+// single simulation. -peers names the rest of the fleet and turns on
+// the self-healing machinery: anti-entropy replication (every result
+// kept at -replicas copies fleet-wide) and peer repair for the
+// background integrity scrubber (-scrub-interval), which re-verifies
+// every stored entry and quarantines bit rot. Classified disk faults
+// (full, read-only, permission, I/O) degrade the store to readonly or
+// memory-only instead of failing requests; /healthz reports store_state
+// so fleet dispatch weights away from degraded daemons.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the
 // listener stops, active requests and in-flight simulations drain
 // (bounded by -drain), then the disk store's index is fsynced and
 // closed before the process exits.
@@ -29,10 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/fleet"
 	"repro/internal/resultstore"
 	"repro/internal/simserver"
 )
@@ -48,7 +59,15 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		storeDir = flag.String("store-dir", "", "content-addressed disk store directory (empty = memory only)")
 		storeMax = flag.Int64("store-max-bytes", 256<<20, "disk store size bound before oldest-access eviction")
-		version  = flag.Bool("version", false, "print version and exit")
+		quarMax  = flag.Int64("quarantine-max-bytes", resultstore.DefaultQuarantineMaxBytes, "quarantine directory size bound; oldest quarantined files age out past it")
+
+		peersF      = flag.String("peers", "", "comma-separated peer smtsimd base URLs for anti-entropy replication and scrub repair")
+		peerTimeout = flag.Duration("peer-timeout", resultstore.DefaultPeerTimeout, "budget for one whole peer lookup across all peers")
+		replicas    = flag.Int("replicas", resultstore.DefaultReplicas, "with -peers: target fleet-wide copies per result, counting this daemon's")
+		syncEvery   = flag.Duration("sync-interval", resultstore.DefaultReplicateInterval, "with -peers: anti-entropy replication round period")
+		scrubEvery  = flag.Duration("scrub-interval", resultstore.DefaultScrubInterval, "with -store-dir: background integrity scrub period (0 disables)")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -63,14 +82,53 @@ func main() {
 	var store *resultstore.Tiered
 	if *storeDir != "" {
 		disk, err := resultstore.OpenDisk(*storeDir, resultstore.DiskOptions{
-			MaxBytes: *storeMax,
-			Log:      os.Stderr,
+			MaxBytes:           *storeMax,
+			QuarantineMaxBytes: *quarMax,
+			Log:                os.Stderr,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("opening -store-dir: %w", err))
 		}
 		store = resultstore.NewTiered(resultstore.NewMemory(*cache), disk, nil)
 	}
+
+	// Self-healing machinery. -peers names the rest of the fleet: the
+	// replicator keeps every result at -replicas copies fleet-wide, and
+	// gives the scrubber somewhere to repair bit-rotted entries from.
+	// The daemon's own request path never fans out to peers (that would
+	// recurse across the fleet); replication converges the stores in the
+	// background instead.
+	var (
+		peerSrc    resultstore.PeerLookup
+		scrubber   *resultstore.Scrubber
+		replicator *resultstore.Replicator
+		cfgTimeout time.Duration
+	)
+	if *peersF != "" {
+		src, err := fleet.NewPeerLookup(strings.Split(*peersF, ","), *peerTimeout)
+		if err != nil {
+			fatal(fmt.Errorf("parsing -peers: %w", err))
+		}
+		peerSrc = src
+		cfgTimeout = *peerTimeout
+		if store == nil {
+			store = resultstore.NewTiered(resultstore.NewMemory(*cache), nil, nil)
+		}
+		replicator = resultstore.NewReplicator(store, resultstore.ReplicateConfig{
+			Peers:    src.(*resultstore.PeerClient).Peers(),
+			Replicas: *replicas,
+			Interval: *syncEvery,
+			Log:      os.Stderr,
+		})
+	}
+	if *storeDir != "" && *scrubEvery > 0 {
+		scrubber = resultstore.NewScrubber(store, resultstore.ScrubConfig{
+			Interval: *scrubEvery,
+			Source:   peerSrc, // nil without -peers: detect + quarantine, no repair
+			Log:      os.Stderr,
+		})
+	}
+
 	srv := simserver.New(simserver.Config{
 		Workers:      *workers,
 		QueueDepth:   qd,
@@ -78,7 +136,12 @@ func main() {
 		RunTimeout:   *timeout,
 		RetryAfter:   *retry,
 		Store:        store,
+		PeerTimeout:  cfgTimeout,
+		Scrubber:     scrubber,
+		Replicator:   replicator,
 	})
+	scrubber.Start()
+	replicator.Start()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -108,6 +171,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smtsimd: drain: %v\n", err)
 		os.Exit(1)
 	}
+	// Background maintenance stops before the store closes: a scrub or
+	// sync round mid-transfer aborts at its next pacing point.
+	replicator.Stop()
+	scrubber.Stop()
 	// Only after the drain: every settled flight has written its entry,
 	// so closing now fsyncs a complete disk index.
 	if store != nil {

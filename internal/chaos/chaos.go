@@ -48,6 +48,12 @@ const (
 	// FaultTear is recorded by Writer when it tears a write. It is
 	// never drawn by Transport.
 	FaultTear
+	// FaultDiskFull is recorded by DiskFull when its byte budget runs
+	// out and a write fails with ENOSPC. Never drawn by Transport.
+	FaultDiskFull
+	// FaultRot is recorded by RotFile when it flips a stored bit.
+	// Never drawn by Transport.
+	FaultRot
 
 	numFaults
 )
@@ -66,6 +72,10 @@ func (f Fault) String() string {
 		return "5xx"
 	case FaultTear:
 		return "tear"
+	case FaultDiskFull:
+		return "diskfull"
+	case FaultRot:
+		return "rot"
 	default:
 		return fmt.Sprintf("fault(%d)", int(f))
 	}

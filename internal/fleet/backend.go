@@ -30,6 +30,7 @@ type backend struct {
 	probeMu sync.Mutex
 	down    bool   // last health probe failed (distinct from the breaker)
 	version string // backend-reported version from /healthz
+	store   string // backend-reported store_state ("" = not reported)
 }
 
 // normalizeURL accepts "host:port" or a full URL and returns a base URL
@@ -75,6 +76,37 @@ func (b *backend) probed() (up bool, version string) {
 	b.probeMu.Lock()
 	defer b.probeMu.Unlock()
 	return !b.down, b.version
+}
+
+// setStoreState records the store serving state the last probe saw.
+func (b *backend) setStoreState(state string) {
+	b.probeMu.Lock()
+	b.store = state
+	b.probeMu.Unlock()
+}
+
+// storeState returns the backend's last-reported store serving state.
+func (b *backend) storeState() string {
+	b.probeMu.Lock()
+	defer b.probeMu.Unlock()
+	return b.store
+}
+
+// storePenalty converts a degraded store into extra apparent load for
+// least-loaded selection: a readonly store (recomputes everything it
+// can't cache) counts as one extra in-flight request, a memory-only
+// store (loses its results on restart too) as two. Degraded backends
+// still serve — the penalty biases dispatch, it never excludes — so a
+// fleet that is entirely degraded keeps working.
+func (b *backend) storePenalty() int64 {
+	switch b.storeState() {
+	case "readonly":
+		return 1
+	case "memory-only":
+		return 2
+	default:
+		return 0
+	}
 }
 
 // available reports whether the dispatcher may route to this backend:

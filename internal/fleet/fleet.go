@@ -363,8 +363,10 @@ func (c *Client) backoff(attempt int) time.Duration {
 
 // pick selects the least-loaded routable backend, preferring any
 // backend not in exclude (the ones that just failed, or already served
-// the run being audited). Quarantined backends are never picked. Ties
-// break by URL so selection is deterministic under equal load. The
+// the run being audited). A degraded result store adds phantom load
+// (storePenalty) so dispatch drifts toward backends that can still
+// cache. Quarantined backends are never picked. Ties break by URL so
+// selection is deterministic under equal load. The
 // half-open trial slot is only consumed for the backend actually
 // returned.
 func (c *Client) pick(exclude ...*backend) *backend {
@@ -391,7 +393,7 @@ func (c *Client) pick(exclude ...*backend) *backend {
 		if b.breaker.state() == BreakerOpen {
 			continue
 		}
-		cands = append(cands, cand{b, b.inflight.Load()})
+		cands = append(cands, cand{b, b.inflight.Load() + b.storePenalty()})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].load != cands[j].load {

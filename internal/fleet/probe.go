@@ -11,10 +11,14 @@ import (
 	"time"
 )
 
-// healthReply mirrors simserver's GET /healthz body.
+// healthReply mirrors simserver's GET /healthz body. StoreState is the
+// backend's result-store serving state ("ok", "readonly",
+// "memory-only"); degraded backends stay routable but carry a dispatch
+// penalty so load drifts toward healthy stores.
 type healthReply struct {
-	Status  string `json:"status"`
-	Version string `json:"version"`
+	Status     string `json:"status"`
+	Version    string `json:"version"`
+	StoreState string `json:"store_state"`
 }
 
 // probeLoop probes every backend at the configured interval until the
@@ -47,14 +51,20 @@ func (c *Client) ProbeNow(ctx context.Context) {
 		go func(b *backend) {
 			defer wg.Done()
 			wasUp, _ := b.probed()
-			up, version := c.probeOne(ctx, b)
+			wasStore := b.storeState()
+			up, version, store := c.probeOne(ctx, b)
 			b.setProbe(up, version)
+			b.setStoreState(store)
 			if up != wasUp {
 				state := "down"
 				if up {
 					state = "up"
 				}
 				fmt.Fprintf(c.cfg.Log, "fleet: backend %s is %s\n", b.url, state)
+			}
+			if up && store != wasStore && (store != "" || wasStore != "") {
+				fmt.Fprintf(c.cfg.Log, "fleet: backend %s store is %s (was %s)\n",
+					b.url, orUnknown(store), orUnknown(wasStore))
 			}
 		}(b)
 	}
@@ -64,27 +74,36 @@ func (c *Client) ProbeNow(ctx context.Context) {
 
 // probeOne GETs one backend's /healthz. A backend is up only when it
 // answers 200 with status "ok" — a draining backend stops receiving new
-// work.
-func (c *Client) probeOne(ctx context.Context, b *backend) (up bool, version string) {
+// work. The store state rides along for dispatch weighting; older
+// backends that don't report one probe as "" (no penalty).
+func (c *Client) probeOne(ctx context.Context, b *backend) (up bool, version, storeState string) {
 	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.url+"/healthz", nil)
 	if err != nil {
-		return false, ""
+		return false, "", ""
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return false, ""
+		return false, "", ""
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return false, ""
+		return false, "", ""
 	}
 	var h healthReply
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return false, ""
+		return false, "", ""
 	}
-	return h.Status == "ok", h.Version
+	return h.Status == "ok", h.Version, h.StoreState
+}
+
+// orUnknown renders an empty probe state for logs.
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }
 
 // logVersionSkew warns (once per distinct combination) when the up

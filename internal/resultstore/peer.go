@@ -3,12 +3,22 @@ package resultstore
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// DefaultPeerTimeout bounds one whole peer lookup when the caller
+// passes no budget. Peer lookups are an optimization on the way to a
+// simulation, so the default is deliberately tight: a slow peer must
+// never cost more than the simulation it would have saved. Deployments
+// with slower networks raise it (-peer-timeout on smtsimd and
+// adts-sweep).
+const DefaultPeerTimeout = 500 * time.Millisecond
 
 // PeerConfig tunes a PeerClient. Zero values select the documented
 // defaults.
@@ -17,9 +27,7 @@ type PeerConfig struct {
 	// fleet client passes its backend pool).
 	Peers []string
 	// Timeout bounds one whole lookup (all peers, in parallel); <= 0
-	// selects 500ms. Peer lookups are an optimization on the way to a
-	// simulation, so the budget is deliberately tight: a slow peer must
-	// never cost more than the simulation it would have saved.
+	// selects DefaultPeerTimeout.
 	Timeout time.Duration
 	// HTTPClient overrides the transport; nil selects a dedicated
 	// client.
@@ -48,7 +56,7 @@ type PeerClient struct {
 // NewPeerClient builds a tier-2 lookup client over the given peers.
 func NewPeerClient(cfg PeerConfig) *PeerClient {
 	if cfg.Timeout <= 0 {
-		cfg.Timeout = 500 * time.Millisecond
+		cfg.Timeout = DefaultPeerTimeout
 	}
 	c := &PeerClient{cfg: cfg, http: cfg.HTTPClient}
 	if c.http == nil {
@@ -97,37 +105,60 @@ func (p *PeerClient) Lookup(ctx context.Context, key string) (*Entry, bool) {
 
 // fetch asks one peer; any failure is a nil (miss).
 func (p *PeerClient) fetch(ctx context.Context, base, key string) *Entry {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/result/"+key, nil)
+	e, err := getEntry(ctx, p.http, base, key)
 	if err != nil {
-		p.errsTotal.Add(1)
-		return nil
-	}
-	resp, err := p.http.Do(req)
-	if err != nil {
-		if ctx.Err() == nil {
+		if !errors.Is(err, errPeerMiss) && ctx.Err() == nil {
 			p.errsTotal.Add(1)
 		}
 		return nil
 	}
+	return e
+}
+
+// errPeerMiss marks a clean non-200 from a peer (usually 404): the
+// peer answered, it just does not have the key. Distinct from
+// transport and verification failures so callers can count real errors.
+var errPeerMiss = errors.New("resultstore: peer does not have the key")
+
+// getEntry GETs one entry from one peer's /v1/result/{key} and
+// digest-verifies it before returning. Shared by the lookup client and
+// the replicator; every byte crossing the fleet passes through this
+// verification regardless of which subsystem asked for it.
+func getEntry(ctx context.Context, hc *http.Client, base, key string) (*Entry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/result/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
-		return nil
+		return nil, errPeerMiss
 	}
 	var e Entry
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&e); err != nil {
-		p.errsTotal.Add(1)
-		return nil
+		return nil, err
 	}
 	if e.Key != key || !e.Verify() {
-		p.errsTotal.Add(1)
-		return nil
+		return nil, fmt.Errorf("resultstore: peer %s served unverifiable entry for %s", base, key)
 	}
-	return &e
+	return &e, nil
 }
 
 // Forget drops a key from the negative cache (a peer may have it now).
+// The scrubber's repair path calls it before re-asking the fleet for a
+// key whose local copy just rotted.
 func (p *PeerClient) Forget(key string) { p.neg.Delete(key) }
+
+// Timeout reports the configured per-lookup budget (surfaced in
+// /healthz as peer_timeout_ms).
+func (p *PeerClient) Timeout() time.Duration { return p.cfg.Timeout }
+
+// Peers reports the configured peer base URLs.
+func (p *PeerClient) Peers() []string { return p.cfg.Peers }
 
 // Hits reports verified peer hits.
 func (p *PeerClient) Hits() int64 { return p.hits.Load() }

@@ -23,6 +23,7 @@ package resultstore
 
 import (
 	"context"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -35,6 +36,30 @@ const (
 	TierDisk   = "disk"
 	TierPeer   = "peer"
 )
+
+// Store-level serving states, reported by Tiered.State and surfaced in
+// /healthz as store_state so fleet health probes can weight dispatch
+// away from degraded backends.
+const (
+	// StateOK: all configured tiers serving normally.
+	StateOK = "ok"
+	// StateReadOnly: the disk tier refuses writes (full, read-only
+	// remount, permission) but still serves existing entries.
+	StateReadOnly = "readonly"
+	// StateMemoryOnly: no disk tier is serving — either none was
+	// configured or the configured one is offline (read faults).
+	StateMemoryOnly = "memory-only"
+)
+
+// ManifestEntry is one line of a store manifest: the anti-entropy
+// exchange unit. Peers compare manifests to find keys they are missing
+// (pull) and keys the replication factor says are under-replicated
+// (push); the digest lets a receiver reject a stale or lying
+// advertisement without fetching the body.
+type ManifestEntry struct {
+	Key    string `json:"key"`
+	Digest string `json:"digest"`
+}
 
 // Entry is one stored simulation result. Its JSON field set (and
 // order) is exactly the cacheable part of a POST /v1/run response, so
@@ -185,6 +210,54 @@ func (t *Tiered) put(e *Entry) {
 			t.metrics.putError(TierDisk)
 		}
 	}
+}
+
+// State reports the store's serving state: StateOK when every
+// configured tier serves, StateReadOnly when the disk tier refuses
+// writes, StateMemoryOnly when there is no serving disk tier.
+func (t *Tiered) State() string {
+	if t == nil || t.disk == nil {
+		return StateMemoryOnly
+	}
+	switch t.disk.State() {
+	case DiskOK:
+		return StateOK
+	case DiskReadOnly:
+		return StateReadOnly
+	default:
+		return StateMemoryOnly
+	}
+}
+
+// ManifestLocal lists every key the local tiers (memory, disk) can
+// serve, as sorted {key, digest} pairs — the GET /v1/store/manifest
+// payload. The memory tier is included so a daemon whose disk is
+// degraded still advertises (and can replicate out) the results it
+// holds in RAM.
+func (t *Tiered) ManifestLocal() []ManifestEntry {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []ManifestEntry
+	if t.disk != nil {
+		for _, me := range t.disk.Manifest() {
+			if !seen[me.Key] {
+				seen[me.Key] = true
+				out = append(out, me)
+			}
+		}
+	}
+	if t.mem != nil {
+		for _, me := range t.mem.Manifest() {
+			if !seen[me.Key] {
+				seen[me.Key] = true
+				out = append(out, me)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Close flushes and closes the tiers that hold external resources

@@ -1,0 +1,218 @@
+package resultstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultScrubInterval paces background scrub passes when the caller
+// sets none: frequent enough to catch bit rot within minutes at fleet
+// scale, rare enough to be invisible next to simulation load.
+const DefaultScrubInterval = 10 * time.Minute
+
+// DefaultScrubPace is the idle gap between per-entry checks inside one
+// pass — the "low priority" knob. A pass over a full 256 MiB store is
+// a few thousand reads; at 2ms apiece it spreads over seconds instead
+// of monopolizing the disk.
+const DefaultScrubPace = 2 * time.Millisecond
+
+// ScrubConfig tunes a Scrubber. Zero values select the documented
+// defaults.
+type ScrubConfig struct {
+	// Interval is the period between background passes; <= 0 selects
+	// DefaultScrubInterval. (ScrubOnce ignores it.)
+	Interval time.Duration
+	// Pace is the idle gap between per-entry checks; < 0 disables
+	// pacing, 0 selects DefaultScrubPace.
+	Pace time.Duration
+	// Source, when non-nil, is where corrupt entries are repaired from:
+	// the scrubber re-fetches a quarantined key from the fleet and
+	// re-persists it, turning detect-and-drop into detect-and-heal. Nil
+	// leaves corrupt entries quarantined (the next Get re-simulates).
+	Source PeerLookup
+	// Log receives per-pass summaries when anything was found; nil
+	// discards them.
+	Log io.Writer
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	Scanned      int  // entries re-read and re-verified
+	Corrupt      int  // entries that failed verification (quarantined)
+	Repaired     int  // corrupt entries re-fetched from a peer and re-persisted
+	RepairFailed int  // corrupt entries no peer could supply
+	Recovered    bool // a degraded tier re-armed during this pass
+}
+
+// Scrubber is the background integrity sweep over the disk tier: it
+// periodically re-reads every resident entry, re-verifies the SHA-256
+// envelope, quarantines bit-rotted files, and — when a repair source
+// is configured — heals them by re-fetching from peers. Each pass also
+// offers a degraded tier one recovery probe, so a disk that filled and
+// was cleaned up re-arms within one scrub interval without operator
+// action.
+type Scrubber struct {
+	store *Tiered
+	cfg   ScrubConfig
+
+	passes       atomic.Int64
+	scanned      atomic.Int64
+	corrupt      atomic.Int64
+	repaired     atomic.Int64
+	repairFailed atomic.Int64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewScrubber builds a scrubber over the store's disk tier. The store
+// may be memory-only; passes are then no-ops (state still reported).
+func NewScrubber(store *Tiered, cfg ScrubConfig) *Scrubber {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultScrubInterval
+	}
+	if cfg.Pace == 0 {
+		cfg.Pace = DefaultScrubPace
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	return &Scrubber{store: store, cfg: cfg}
+}
+
+// Start launches the background loop. The first pass runs one interval
+// after Start, not immediately: startup already structurally scanned
+// the directory, and a daemon coming up under load should serve first,
+// scrub later. Stop cancels the loop and waits for it.
+func (s *Scrubber) Start() {
+	if s == nil || s.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				s.ScrubOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Stop cancels the background loop (including a pass in progress; the
+// per-entry pacing points are cancellation points) and waits for it to
+// exit. Safe to call without Start, and more than once.
+func (s *Scrubber) Stop() {
+	if s == nil || s.cancel == nil {
+		return
+	}
+	s.cancel()
+	<-s.done
+	s.cancel = nil
+}
+
+// ScrubOnce runs one full pass synchronously: re-arm probe for a
+// degraded tier, then a paced re-read + re-verify of every resident
+// entry, quarantining and (when a source is configured) repairing
+// corruption. Tests and the CLI call it directly for deterministic
+// convergence; the background loop calls it on its ticker.
+func (s *Scrubber) ScrubOnce(ctx context.Context) ScrubReport {
+	var rep ScrubReport
+	if s == nil || s.store == nil {
+		return rep
+	}
+	disk := s.store.Disk()
+	if disk == nil {
+		return rep
+	}
+	s.passes.Add(1)
+	if disk.State() != DiskOK {
+		before := disk.State()
+		if disk.TryRecover() && before != DiskOK {
+			rep.Recovered = true
+			fmt.Fprintf(s.cfg.Log, "resultstore: scrub re-armed the disk tier (was %s)\n", before)
+		}
+	}
+	for _, me := range disk.Manifest() {
+		if ctx.Err() != nil {
+			return rep
+		}
+		rep.Scanned++
+		s.scanned.Add(1)
+		err := disk.Check(me.Key)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrCorrupt):
+			rep.Corrupt++
+			s.corrupt.Add(1)
+			if s.repair(ctx, me.Key) {
+				rep.Repaired++
+				s.repaired.Add(1)
+			} else {
+				rep.RepairFailed++
+				s.repairFailed.Add(1)
+			}
+		case errors.Is(err, ErrDegraded):
+			// The tier went down mid-pass; the next pass re-probes.
+			return rep
+		}
+		if s.cfg.Pace > 0 {
+			select {
+			case <-ctx.Done():
+				return rep
+			case <-time.After(s.cfg.Pace):
+			}
+		}
+	}
+	if rep.Corrupt > 0 || rep.Recovered {
+		fmt.Fprintf(s.cfg.Log, "resultstore: scrub pass: %d scanned, %d corrupt, %d repaired, %d unrepairable\n",
+			rep.Scanned, rep.Corrupt, rep.Repaired, rep.RepairFailed)
+	}
+	return rep
+}
+
+// repair re-fetches one quarantined key from the repair source and
+// re-persists it through the tiered store (memory + disk), verifying
+// the digest end to end. The key is dropped from the source's negative
+// cache first: the local copy just rotted, so a previous "no peer had
+// it" answer is stale.
+func (s *Scrubber) repair(ctx context.Context, key string) bool {
+	if s.cfg.Source == nil {
+		return false
+	}
+	if f, ok := s.cfg.Source.(interface{ Forget(string) }); ok {
+		f.Forget(key)
+	}
+	e, ok := s.cfg.Source.Lookup(ctx, key)
+	if !ok {
+		return false
+	}
+	s.store.Put(e)
+	return true
+}
+
+// Passes reports completed + in-progress scrub passes.
+func (s *Scrubber) Passes() int64 { return s.passes.Load() }
+
+// Scanned reports entries re-read and re-verified across all passes.
+func (s *Scrubber) Scanned() int64 { return s.scanned.Load() }
+
+// Corrupt reports entries that failed verification during scrubs.
+func (s *Scrubber) Corrupt() int64 { return s.corrupt.Load() }
+
+// Repaired reports corrupt entries healed from a peer.
+func (s *Scrubber) Repaired() int64 { return s.repaired.Load() }
+
+// RepairFailed reports corrupt entries no peer could supply.
+func (s *Scrubber) RepairFailed() int64 { return s.repairFailed.Load() }

@@ -70,6 +70,17 @@ type Config struct {
 	// MaxBatchItems bounds one POST /v1/batch request; <= 0 selects
 	// 4096.
 	MaxBatchItems int
+	// PeerTimeout is the store's tier-2 peer-lookup budget, surfaced in
+	// /healthz as peer_timeout_ms so operators can confirm what a daemon
+	// is actually running with; 0 means no peer tier is configured.
+	PeerTimeout time.Duration
+	// Scrubber, when set, has its pass/repair counters surfaced in
+	// /healthz and /metrics. The owner (cmd/smtsimd) starts and stops it;
+	// the server only reports.
+	Scrubber *resultstore.Scrubber
+	// Replicator, when set, has its sync/transfer counters surfaced in
+	// /healthz and /metrics. Owned by the caller, like Scrubber.
+	Replicator *resultstore.Replicator
 }
 
 // Server is one simulation service instance. Create with New, expose
@@ -138,6 +149,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/runcfg", s.handleRunCfg)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/store/manifest", s.handleManifest)
+	s.mux.HandleFunc("POST /v1/store/push", s.handlePush)
 	s.mux.HandleFunc("GET /v1/mixes", s.handleMixes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -451,10 +464,38 @@ func (s *Server) handleMixes(w http.ResponseWriter, _ *http.Request) {
 }
 
 // Health is the GET /healthz response body. Version lets fleet health
-// probes detect backend skew (mixed deployments) and log it.
+// probes detect backend skew (mixed deployments) and log it;
+// StoreState lets them weight dispatch away from degraded backends
+// without a second endpoint.
 type Health struct {
 	Status  string `json:"status"`
 	Version string `json:"version"`
+	// StoreState is the result store's serving state: "ok",
+	// "readonly" (disk refuses writes), or "memory-only" (no serving
+	// disk tier). Duplicated from Store.State at the top level so fleet
+	// probes can read it without decoding the nested block.
+	StoreState string `json:"store_state"`
+	// Store is the per-tier store detail for operators and runbooks.
+	Store StoreHealth `json:"store"`
+	// PeerTimeoutMS echoes the configured tier-2 peer-lookup budget
+	// (-peer-timeout); 0 when no peer tier is configured.
+	PeerTimeoutMS int64 `json:"peer_timeout_ms,omitempty"`
+}
+
+// StoreHealth is the /healthz store block: occupancy, degraded-state
+// detail, and the self-healing counters (quarantines, scrub repairs,
+// replication transfers).
+type StoreHealth struct {
+	State         string `json:"state"`
+	StateReason   string `json:"state_reason,omitempty"`
+	MemoryEntries int    `json:"memory_entries"`
+	DiskEntries   int    `json:"disk_entries"`
+	DiskBytes     int64  `json:"disk_bytes"`
+	Quarantines   int64  `json:"quarantines"`
+	ScrubPasses   int64  `json:"scrub_passes"`
+	ScrubRepaired int64  `json:"scrub_repaired"`
+	ReplPulls     int64  `json:"replication_pulls"`
+	ReplPushes    int64  `json:"replication_pushes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -462,7 +503,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.baseCtx.Err() != nil {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, Health{Status: status, Version: buildinfo.Version()})
+	h := Health{
+		Status:        status,
+		Version:       buildinfo.Version(),
+		StoreState:    s.store.State(),
+		PeerTimeoutMS: s.cfg.PeerTimeout.Milliseconds(),
+	}
+	h.Store.State = h.StoreState
+	if mem := s.store.Memory(); mem != nil {
+		h.Store.MemoryEntries = mem.Len()
+	}
+	if disk := s.store.Disk(); disk != nil {
+		h.Store.StateReason = disk.StateReason()
+		h.Store.DiskEntries = disk.Len()
+		h.Store.DiskBytes = disk.Bytes()
+		h.Store.Quarantines = disk.Quarantines()
+	}
+	if sc := s.cfg.Scrubber; sc != nil {
+		h.Store.ScrubPasses = sc.Passes()
+		h.Store.ScrubRepaired = sc.Repaired()
+	}
+	if rp := s.cfg.Replicator; rp != nil {
+		h.Store.ReplPulls = rp.Pulls()
+		h.Store.ReplPushes = rp.Pushes()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -485,6 +550,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeGauge(w, "smtsimd_store_disk_max_bytes", "Disk-tier byte budget.", disk.MaxBytes())
 		writeCounter(w, "smtsimd_store_disk_evictions_total", "Disk-tier entries evicted by the byte budget.", disk.Evictions())
 		writeCounter(w, "smtsimd_store_disk_quarantines_total", "Disk-tier files quarantined as corrupt or truncated.", disk.Quarantines())
+		writeCounter(w, "smtsimd_store_disk_write_faults_total", "Disk-tier writes that failed with a classified fault (ENOSPC, EROFS, permission).", disk.WriteFaults())
+		writeCounter(w, "smtsimd_store_disk_read_faults_total", "Disk-tier reads that failed with a classified fault (EIO, permission).", disk.ReadFaults())
+		writeCounter(w, "smtsimd_store_disk_degraded_total", "Requests refused because the disk tier was degraded (puts + gets).", disk.DegradedPuts()+disk.DegradedGets())
+		writeCounter(w, "smtsimd_store_disk_state_transitions_total", "Disk-tier state-machine transitions into a degraded state.", disk.StateTransitions())
+		writeCounter(w, "smtsimd_store_disk_recoveries_total", "Disk-tier recovery probes that re-armed a degraded tier.", disk.Recoveries())
+	}
+	// Serving state as a gauge: 0 ok, 1 readonly, 2 memory-only — the
+	// alert-friendly twin of /healthz store_state.
+	writeGauge(w, "smtsimd_store_state", "Store serving state: 0 ok, 1 readonly, 2 memory-only.", storeStateValue(s.store.State()))
+	if sc := s.cfg.Scrubber; sc != nil {
+		writeCounter(w, "smtsimd_scrub_passes_total", "Background scrub passes started.", sc.Passes())
+		writeCounter(w, "smtsimd_scrub_scanned_total", "Entries re-read and re-verified by the scrubber.", sc.Scanned())
+		writeCounter(w, "smtsimd_scrub_corrupt_total", "Entries the scrubber found corrupt (quarantined).", sc.Corrupt())
+		writeCounter(w, "smtsimd_scrub_repaired_total", "Corrupt entries re-fetched from a peer and re-persisted.", sc.Repaired())
+		writeCounter(w, "smtsimd_scrub_repair_failed_total", "Corrupt entries no peer could supply.", sc.RepairFailed())
+	}
+	if rp := s.cfg.Replicator; rp != nil {
+		writeCounter(w, "smtsimd_replication_syncs_total", "Anti-entropy sync rounds started.", rp.Syncs())
+		writeCounter(w, "smtsimd_replication_pulls_total", "Missing entries pulled from peers.", rp.Pulls())
+		writeCounter(w, "smtsimd_replication_pushes_total", "Under-replicated entries pushed to peers.", rp.Pushes())
+		writeCounter(w, "smtsimd_replication_pull_errors_total", "Pull attempts that failed or failed verification.", rp.PullErrors())
+		writeCounter(w, "smtsimd_replication_push_errors_total", "Push attempts a peer refused or dropped.", rp.PushErrors())
+		writeCounter(w, "smtsimd_replication_manifest_errors_total", "Peer manifest exchanges that failed.", rp.ManifestErrors())
+	}
+}
+
+// storeStateValue maps a store serving state to its metric gauge value.
+func storeStateValue(state string) int64 {
+	switch state {
+	case resultstore.StateOK:
+		return 0
+	case resultstore.StateReadOnly:
+		return 1
+	default:
+		return 2
 	}
 }
 

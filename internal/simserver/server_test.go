@@ -332,13 +332,19 @@ func TestMixesAndHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var h map[string]string
+	var h Health
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if h["status"] != "ok" {
-		t.Fatalf("healthz status %q, want ok", h["status"])
+	if h.Status != "ok" {
+		t.Fatalf("healthz status %q, want ok", h.Status)
+	}
+	if h.StoreState != "memory-only" {
+		t.Fatalf("healthz store_state %q, want memory-only (no disk tier configured)", h.StoreState)
+	}
+	if h.Store.State != h.StoreState {
+		t.Fatalf("healthz store.state %q != store_state %q", h.Store.State, h.StoreState)
 	}
 }
 

@@ -4,9 +4,12 @@
 # Starts one smtsimd with a temp -store-dir, runs the same quick sweep
 # against it twice (batch-dispatched, peer lookup on), and asserts:
 #
-#   1. the two sweep outputs are byte-identical, and
+#   1. the two sweep outputs are byte-identical,
 #   2. the second pass performed ZERO simulations — every result came
-#      out of the tiered store.
+#      out of the tiered store, and
+#   3. a background scrub pass over the warm store is a no-op: every
+#      entry re-verifies, nothing is quarantined, and a third sweep
+#      after the scrub is still byte-identical with zero simulations.
 #
 # Run from the repo root: ./scripts/store_golden.sh
 set -euo pipefail
@@ -16,12 +19,14 @@ cd "$(dirname "$0")/.."
 ADDR="127.0.0.1:18470"
 STORE_DIR="$(mktemp -d)"
 OUT_DIR="$(mktemp -d)"
-trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$STORE_DIR" "$OUT_DIR"' EXIT
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; wait "$DAEMON_PID" 2>/dev/null || true; rm -rf "$STORE_DIR" "$OUT_DIR"' EXIT
 
 go build -o "$OUT_DIR/smtsimd" ./cmd/smtsimd/
 go build -o "$OUT_DIR/adts-sweep" ./cmd/adts-sweep/
 
-"$OUT_DIR/smtsimd" -addr "$ADDR" -store-dir "$STORE_DIR" &
+# -scrub-interval 2s so the integrity scrubber provably runs over the
+# warm store within the test's lifetime.
+"$OUT_DIR/smtsimd" -addr "$ADDR" -store-dir "$STORE_DIR" -scrub-interval 2s &
 DAEMON_PID=$!
 
 for i in $(seq 1 50); do
@@ -63,3 +68,39 @@ if [ "$AFTER2" -ne "$AFTER1" ]; then
     exit 1
 fi
 echo "OK: second pass byte-identical with zero simulations"
+
+metric() {
+    curl -sf "http://$ADDR/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+
+echo "== scrub pass over the warm store =="
+# Wait for at least one full scrub pass to start after the store warmed.
+BASE_PASSES="$(metric smtsimd_scrub_passes_total)"
+for i in $(seq 1 50); do
+    PASSES="$(metric smtsimd_scrub_passes_total)"
+    [ "$PASSES" -gt "$BASE_PASSES" ] && break
+    [ "$i" = 50 ] && { echo "FAIL: scrubber never ran a pass" >&2; exit 1; }
+    sleep 0.2
+done
+sleep 1 # let the in-progress pass finish its (tiny) scan
+CORRUPT="$(metric smtsimd_scrub_corrupt_total)"
+QUARANTINED="$(metric smtsimd_store_disk_quarantines_total)"
+SCANNED="$(metric smtsimd_scrub_scanned_total)"
+echo "scrub: passes=$PASSES scanned=$SCANNED corrupt=$CORRUPT quarantined=$QUARANTINED"
+if [ "$CORRUPT" -ne 0 ] || [ "$QUARANTINED" -ne 0 ]; then
+    echo "FAIL: scrubbing a warm, healthy store flagged $CORRUPT corrupt / $QUARANTINED quarantined entries; a scrub over intact data must be a no-op" >&2
+    exit 1
+fi
+
+echo "== pass 3 (post-scrub) =="
+sweep > "$OUT_DIR/pass3.json"
+AFTER3="$(sims)"
+if ! diff -u "$OUT_DIR/pass1.json" "$OUT_DIR/pass3.json"; then
+    echo "FAIL: post-scrub sweep output diverges from the cold run" >&2
+    exit 1
+fi
+if [ "$AFTER3" -ne "$AFTER1" ]; then
+    echo "FAIL: post-scrub pass performed $((AFTER3 - AFTER1)) simulation(s); the scrub must not evict or perturb the store" >&2
+    exit 1
+fi
+echo "OK: scrub over the warm store was a no-op; third pass byte-identical with zero simulations"
